@@ -1,0 +1,107 @@
+// Ablation of the oracle's preference weights (the design choices DESIGN.md
+// calls out): knock out each soft preference in turn and report how the §5
+// observables move. This shows which measured statistic is driven by which
+// modeled mechanism — and that none of the paper's findings is an artifact
+// of one shared knob.
+
+#include "bench_common.hpp"
+
+using namespace starlab;
+
+namespace {
+
+struct Observables {
+  double aoe_gap = 0.0;
+  double north_share = 0.0;
+  double sunlit_rate = 0.0;
+  double launch_r = 0.0;
+};
+
+Observables measure(const scheduler::SchedulerWeights& weights) {
+  core::ScenarioConfig cfg = core::Scenario::default_config(0.5);
+  cfg.weights = weights;
+  const core::Scenario scenario(std::move(cfg));
+
+  core::CampaignConfig cc;
+  cc.duration_hours = 6.0;
+  cc.slot_stride = 2;
+  const core::CampaignData data = core::run_campaign(scenario, cc);
+  const core::SchedulerCharacterizer ch(data, scenario.catalog());
+
+  Observables out;
+  int n = 0, rated = 0, r_count = 0;
+  for (const std::size_t t : {0u, 2u, 3u}) {  // unobstructed sites
+    const auto aoe = ch.aoe_stats(t);
+    const auto az = ch.azimuth_stats(t);
+    const auto sun = ch.sunlit_stats(t);
+    const auto launch = ch.launch_preference(t);
+    out.aoe_gap += aoe.median_gap_deg;
+    out.north_share += az.north_share_chosen;
+    ++n;
+    if (sun.mixed_slots > 100) {
+      out.sunlit_rate += sun.sunlit_pick_rate;
+      ++rated;
+    }
+    out.launch_r += launch.pearson_r;
+    ++r_count;
+  }
+  out.aoe_gap /= n;
+  out.north_share /= n;
+  out.sunlit_rate = rated > 0 ? out.sunlit_rate / rated : -1.0;
+  out.launch_r /= r_count;
+  return out;
+}
+
+void report(const char* name, const Observables& o) {
+  std::printf("  %-22s %8.1f %10.2f %11.2f %9.2f\n", name, o.aoe_gap,
+              o.north_share, o.sunlit_rate, o.launch_r);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Scheduler-weight ablation (half-scale, 6 h campaigns)");
+  std::printf("  %-22s %8s %10s %11s %9s\n", "variant", "AOEgap", "north",
+              "sunlitPick", "launchR");
+
+  const scheduler::SchedulerWeights defaults;
+  report("full oracle", measure(defaults));
+
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.elevation = 0.0;
+    report("- elevation", measure(w));
+  }
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.north = 0.0;
+    report("- north", measure(w));
+  }
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.recency = 0.0;
+    report("- recency", measure(w));
+  }
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.sunlit = 0.0;
+    w.dark_range_penalty = 0.0;
+    report("- sunlit/energy", measure(w));
+  }
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.noise = 0.0;
+    report("- decision noise", measure(w));
+  }
+  {
+    scheduler::SchedulerWeights w = defaults;
+    w.noise = 2.0;
+    report("noise x4", measure(w));
+  }
+
+  std::printf("\n  Reading: each row removes one oracle mechanism; the\n"
+              "  corresponding §5 observable should collapse toward its\n"
+              "  availability baseline while the others persist.\n");
+  return 0;
+}

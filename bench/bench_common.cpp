@@ -1,0 +1,69 @@
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+
+namespace starlab::bench {
+
+const core::Scenario& full_scenario() {
+  static const auto scenario =
+      std::make_unique<core::Scenario>(core::Scenario::default_config(1.0));
+  return *scenario;
+}
+
+const core::Scenario& half_scenario() {
+  static const auto scenario =
+      std::make_unique<core::Scenario>(core::Scenario::default_config(0.5));
+  return *scenario;
+}
+
+const core::CampaignData& standard_campaign() {
+  static const core::CampaignData data = [] {
+    Stopwatch timer;
+    std::printf("[setup] running 12 h measurement campaign over %zu satellites"
+                " x 4 terminals (stride 2)...\n",
+                full_scenario().catalog().size());
+    core::CampaignConfig cfg;
+    cfg.duration_hours = 12.0;
+    cfg.slot_stride = 2;
+    core::CampaignData d = core::run_campaign(full_scenario(), cfg);
+    std::printf("[setup] campaign done: %zu slot observations in %.1f s\n\n",
+                d.slots.size(), timer.seconds());
+    return d;
+  }();
+  return data;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured) {
+  std::printf("  %-52s paper: %-18s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+void print_ecdf_row(const std::string& label, const analysis::Ecdf& ecdf,
+                    double lo, double hi, double step) {
+  std::printf("  %-28s", label.c_str());
+  for (double x = lo; x <= hi + 1e-9; x += step) {
+    std::printf(" %5.2f", ecdf(x));
+  }
+  std::printf("\n");
+}
+
+Stopwatch::Stopwatch()
+    : start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+double Stopwatch::seconds() const {
+  const long long now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+}  // namespace starlab::bench

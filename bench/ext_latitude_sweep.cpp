@@ -1,0 +1,68 @@
+// Extension (paper §8, future work): how the global scheduler's azimuth
+// preference changes with latitude. The GSO exclusion zone sits to the south
+// for northern terminals and to the north for southern ones, so the paper
+// predicts its ">40 degN points north" finding flips in the southern
+// hemisphere and dissolves near the equator. This sweep instantiates
+// terminals from 55 degS to 55 degN and measures pick-azimuth shares and
+// the GSO arc's culmination at each.
+
+#include "bench_common.hpp"
+
+using namespace starlab;
+
+int main() {
+  bench::print_header(
+      "Latitude sweep: pick-azimuth shares vs GSO-arc position");
+  std::printf("  lat     GSOarc(az@el)   north-share  south-share  mean-AOE"
+              "-gap\n");
+
+  for (const double lat : {-55.0, -45.0, -30.0, -15.0, 0.0, 15.0, 30.0, 45.0,
+                           55.0}) {
+    core::ScenarioConfig cfg = core::Scenario::default_config(0.5);
+    cfg.terminals.clear();
+    ground::TerminalConfig tc;
+    tc.name = "sweep";
+    tc.site = {lat, -91.5, 0.2};
+    tc.pop_site = {lat > 0 ? lat - 1.0 : lat + 1.0, -90.0, 0.1};
+    cfg.terminals.push_back(tc);
+    const core::Scenario scenario(std::move(cfg));
+
+    // GSO arc culmination in this sky.
+    const geo::GsoArc& arc = scenario.terminal(0).gso_arc();
+    double arc_az = 0.0;
+    if (!arc.samples().empty()) {
+      const geo::LookAngles* best = &arc.samples().front();
+      for (const geo::LookAngles& s : arc.samples()) {
+        if (s.elevation_deg > best->elevation_deg) best = &s;
+      }
+      arc_az = best->azimuth_deg;
+    }
+
+    core::CampaignConfig cc;
+    cc.duration_hours = 3.0;
+    cc.slot_stride = 2;
+    const core::CampaignData data = core::run_campaign(scenario, cc);
+    const core::SchedulerCharacterizer ch(data, scenario.catalog());
+    const core::AzimuthStats az = ch.azimuth_stats(0);
+    const core::AoeStats aoe = ch.aoe_stats(0);
+
+    const double south_share =
+        az.quadrant_share_chosen[1] + az.quadrant_share_chosen[2];
+    std::printf("  %+5.0f   %5.1f@%4.1f      %6.2f       %6.2f       %6.1f\n",
+                lat, arc_az, arc.max_elevation_deg(), az.north_share_chosen,
+                south_share, aoe.median_gap_deg);
+  }
+
+  std::printf(
+      "\n  Two mechanisms shape these rows:\n"
+      "  1. GSO exclusion: the arc culminates due south at northern sites\n"
+      "     (due north at southern ones) and rises toward the equator,\n"
+      "     carving picks away from that part of the sky.\n"
+      "  2. Inclination envelope: beyond |lat| ~ 53 deg the dominant 53-deg\n"
+      "     shells sit entirely equatorward of the terminal, so availability\n"
+      "     itself collapses to one side (+55: south-heavy; -55: north-\n"
+      "     heavy) regardless of scheduler preference.\n"
+      "  The paper's single-latitude-band finding (>=40N points north) is\n"
+      "  the +45 row; this sweep is the §8 future-work study it proposes.\n");
+  return 0;
+}

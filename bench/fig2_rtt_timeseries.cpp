@@ -1,0 +1,118 @@
+// Figure 2 + §3: high-frequency RTT measurement from the EU (Madrid)
+// terminal over a two-minute window, showing the global re-allocation
+// signature every 15 seconds at :12/:27/:42/:57, the on-satellite MAC bands,
+// the Mann-Whitney check that consecutive windows differ, and the blind
+// recovery of the scheduling grid from the RTT series alone.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace starlab;
+
+int main() {
+  const core::Scenario& sc = bench::full_scenario();
+  const std::size_t madrid = 2;
+
+  bench::print_header("Fig 2: RTT time series, EU terminal, 1 probe / 20 ms");
+
+  const measurement::LatencyModel model(sc.catalog(), sc.mac_scheduler());
+  const measurement::RttProber prober(sc.global_scheduler(), model);
+
+  // A 2-minute figure window plus a longer 10-minute series for statistics.
+  const double t0 = sc.grid().slot_start(sc.first_slot());
+  const measurement::RttSeries series =
+      prober.run(sc.terminal(madrid), t0, t0 + 600.0);
+
+  // --- The figure itself: per-quarter-second min/median/max over 2 min. ---
+  std::printf("  time     rtt_min  rtt_p25  rtt_med  rtt_max   (ms; 0.25 s bins"
+              ", first 120 s)\n");
+  std::map<int, std::vector<double>> bins;
+  for (const auto& s : series.received()) {
+    if (s.unix_sec - t0 >= 120.0) break;
+    bins[static_cast<int>((s.unix_sec - t0) / 0.25)].push_back(s.rtt_ms);
+  }
+  for (auto& [bin, vals] : bins) {
+    if (bin % 8 != 0) continue;  // print every 2 s to keep the table readable
+    std::sort(vals.begin(), vals.end());
+    const auto utc = time::UtcTime::from_unix_seconds(t0 + bin * 0.25);
+    std::printf("  %s %8.2f %8.2f %8.2f %8.2f\n", utc.to_hms().c_str(),
+                vals.front(), vals[vals.size() / 4], vals[vals.size() / 2],
+                vals.back());
+  }
+
+  // --- MAC bands: distinct RTT levels within one slot. ---
+  bench::print_header("§3: on-satellite MAC scheduler bands (one 15 s slot)");
+  {
+    std::map<int, int> band_census;
+    const time::SlotIndex slot = sc.first_slot() + 2;
+    for (const auto& s : series.received()) {
+      if (s.slot != slot) continue;
+      band_census[static_cast<int>(std::floor(s.rtt_ms / 1.33))] += 1;
+    }
+    std::printf("  RTT level (1.33 ms frame bins) -> probe count:\n");
+    for (const auto& [band, count] : band_census) {
+      std::printf("    %6.2f ms: %4d %s\n", band * 1.33, count,
+                  std::string(static_cast<std::size_t>(count) / 4, '#').c_str());
+    }
+    bench::print_comparison("parallel bands a few ms apart", "observed",
+                            band_census.size() >= 2 ? "observed" : "NOT OBSERVED");
+  }
+
+  // --- Mann-Whitney between consecutive 15 s windows. ---
+  bench::print_header("§3: Mann-Whitney U between consecutive slots");
+  std::map<time::SlotIndex, std::vector<double>> by_slot;
+  for (const auto& s : series.received()) by_slot[s.slot].push_back(s.rtt_ms);
+
+  int tested = 0, significant = 0;
+  const std::vector<double>* prev = nullptr;
+  for (const auto& [slot, vals] : by_slot) {
+    if (prev != nullptr) {
+      const auto r = analysis::mann_whitney_u(*prev, vals);
+      ++tested;
+      if (r.p_two_sided < 0.05) ++significant;
+    }
+    prev = &vals;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d/%d windows differ (p<.05)", significant,
+                tested);
+  bench::print_comparison("consecutive windows statistically different",
+                          "all locations/periods", buf);
+
+  // --- Blind recovery of the scheduling grid. ---
+  bench::print_header("§3: scheduling epoch recovered from RTT alone");
+  const auto changes = measurement::detect_change_points(series);
+  const auto est = measurement::estimate_epoch(changes);
+  std::snprintf(buf, sizeof(buf), "%.1f s period, offset :%02.0f, support %.2f",
+                est.period_sec, std::fmod(est.offset_sec, 60.0), est.support);
+  bench::print_comparison("re-allocation grid", "15 s at :12/:27/:42/:57", buf);
+  std::printf("  detected %zu abrupt latency changes in 10 min\n",
+              changes.size());
+
+  // Change instants expressed as seconds-past-minute (the paper's framing).
+  std::printf("  change instants (s past the minute):");
+  for (std::size_t i = 0; i < changes.size() && i < 12; ++i) {
+    std::printf(" %04.1f", std::fmod(changes[i].unix_sec, 60.0));
+  }
+  std::printf("\n");
+
+  // --- §3: the effect is simultaneous at every vantage point — the key ---
+  // --- argument that the controller is *global*, not per-satellite.     ---
+  bench::print_header("§3: all four vantage points share the grid");
+  std::printf("  terminal     period   offset   support  changes\n");
+  for (std::size_t t = 0; t < 4; ++t) {
+    const measurement::RttSeries ts =
+        prober.run(sc.terminal(t), t0, t0 + 600.0);
+    const auto tc = measurement::detect_change_points(ts);
+    const auto te = measurement::estimate_epoch(tc);
+    std::printf("  %-10s  %5.1f s   :%04.1f    %.2f    %zu\n",
+                sc.terminal(t).name().c_str(), te.period_sec,
+                std::fmod(te.offset_sec, 60.0), te.support, tc.size());
+  }
+  bench::print_comparison("same 15 s grid everywhere, simultaneously",
+                          "all locations, all periods", "table above");
+  return 0;
+}

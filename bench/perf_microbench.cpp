@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the hot paths: SGP4 propagation, the
+// whole-sky visibility query, DTW matching, forest inference, obstruction-map
+// XOR and the Mann-Whitney test. These bound the cost of scaling campaigns
+// to longer durations and denser constellations.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+
+using namespace starlab;
+
+namespace {
+
+const core::Scenario& sc() { return bench::half_scenario(); }
+
+void BM_Sgp4Propagate(benchmark::State& state) {
+  const sgp4::Ephemeris& eph = sc().catalog().ephemeris(0);
+  const time::JulianDate jd =
+      time::JulianDate::from_unix_seconds(sc().epoch_unix());
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(eph.state_teme(jd.plus_seconds(t)));
+  }
+}
+BENCHMARK(BM_Sgp4Propagate);
+
+void BM_CatalogPropagateAll(benchmark::State& state) {
+  const time::JulianDate jd =
+      time::JulianDate::from_unix_seconds(sc().epoch_unix());
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 15.0;
+    benchmark::DoNotOptimize(sc().catalog().propagate_all(jd.plus_seconds(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc().catalog().size()));
+}
+BENCHMARK(BM_CatalogPropagateAll);
+
+void BM_VisibleFrom(benchmark::State& state) {
+  const time::JulianDate jd =
+      time::JulianDate::from_unix_seconds(sc().epoch_unix());
+  const geo::Geodetic site = sc().terminal(0).site();
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 15.0;
+    benchmark::DoNotOptimize(
+        sc().catalog().visible_from(site, jd.plus_seconds(t)));
+  }
+}
+BENCHMARK(BM_VisibleFrom);
+
+void BM_SchedulerAllocate(benchmark::State& state) {
+  time::SlotIndex slot = sc().first_slot();
+  for (auto _ : state) {
+    ++slot;
+    benchmark::DoNotOptimize(
+        sc().global_scheduler().allocate(sc().terminal(0), slot));
+  }
+}
+BENCHMARK(BM_SchedulerAllocate);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<match::Point2> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {u(rng), u(rng)};
+    b[i] = {u(rng), u(rng)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::dtw_distance(a, b, 16));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_ObstructionMapXor(benchmark::State& state) {
+  obsmap::ObstructionMap a, b;
+  for (int i = 0; i < 123; ++i) {
+    a.set(i, (i * 7) % 123);
+    b.set(i, (i * 13) % 123);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.exclusive_or(b));
+  }
+}
+BENCHMARK(BM_ObstructionMapXor);
+
+void BM_MannWhitney(benchmark::State& state) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> d(30.0, 2.0);
+  std::vector<double> a(750), b(750);
+  for (auto& x : a) x = d(rng);
+  for (auto& x : b) x = d(rng) + 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::mann_whitney_u(a, b));
+  }
+}
+BENCHMARK(BM_MannWhitney);
+
+void BM_ForestPredict(benchmark::State& state) {
+  // A small synthetic classification task resembling the §6 feature layout.
+  static const ml::RandomForest forest = [] {
+    ml::Dataset d(32);
+    std::mt19937 rng(13);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<double> row(32);
+      for (double& v : row) v = u(rng);
+      d.add_row(row, row[3] > 0.5 ? 1 : 0);
+    }
+    ml::ForestConfig cfg;
+    cfg.num_trees = 80;
+    ml::RandomForest f(cfg);
+    f.fit(d);
+    return f;
+  }();
+  std::vector<double> row(32, 0.4);
+  for (auto _ : state) {
+    row[3] = row[3] > 0.5 ? 0.2 : 0.8;
+    benchmark::DoNotOptimize(forest.predict_proba(row));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Prediction walkthrough (§6): train the random-forest approximation of the
+// global scheduler on campaign data, then use it the way the paper intends —
+// given a location and a time, predict the characteristics (cluster) of the
+// satellite the scheduler will allocate, and compare with what the oracle
+// actually does.
+//
+// Usage: predict_allocation [campaign_hours]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/starlab.hpp"
+#include "sun/solar_ephemeris.hpp"
+
+using namespace starlab;
+
+int main(int argc, char** argv) {
+  const double hours = argc > 1 ? std::atof(argv[1]) : 6.0;
+
+  const core::Scenario scenario(core::Scenario::default_config(0.5));
+  std::printf("Collecting %.0f h of training data...\n", hours);
+  core::CampaignConfig cfg;
+  cfg.duration_hours = hours;
+  const core::CampaignData data = core::run_campaign(scenario, cfg);
+
+  std::printf("Training (80/20 holdout, 5-fold CV)...\n");
+  const core::ModelEvaluation eval = core::train_scheduler_model(data);
+  std::printf("  holdout top-1 %.0f%%, top-5 %.0f%% (baseline %.0f%%)\n\n",
+              100.0 * eval.forest_top_k[0], 100.0 * eval.forest_top_k[4],
+              100.0 * eval.baseline_top_k[4]);
+
+  // Re-fit a forest on everything for the live demo.
+  const core::ClusterFeaturizer featurizer;
+  const ml::Dataset full = featurizer.build_dataset(data);
+  ml::RandomForest forest(eval.chosen_config);
+  forest.fit(full);
+
+  // Predict the upcoming slots for Iowa — beyond the training window.
+  std::printf("Predicting the next 5 slots for %s:\n",
+              scenario.terminal(0).name().c_str());
+  const time::SlotIndex first_future =
+      scenario.grid().slot_of(scenario.epoch_unix() + hours * 3600.0) + 1;
+
+  int hits_top5 = 0, total = 0;
+  for (time::SlotIndex s = first_future; s < first_future + 5; ++s) {
+    // Build the feature row exactly as a user would: observable data only.
+    const time::JulianDate jd =
+        time::JulianDate::from_unix_seconds(scenario.grid().slot_mid(s));
+    core::SlotObs obs;
+    obs.slot = s;
+    obs.terminal_index = 0;
+    obs.unix_mid = scenario.grid().slot_mid(s);
+    obs.local_hour = sun::local_solar_hour(
+        scenario.terminal(0).site().longitude_deg, obs.unix_mid);
+    for (const auto& c :
+         scenario.terminal(0).usable_candidates(scenario.catalog(), jd)) {
+      obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
+                               c.sky.look.elevation_deg, c.sky.age_days,
+                               c.sky.sunlit});
+    }
+    const auto features = featurizer.featurize(obs);
+    const std::vector<int> ranked = forest.ranked_classes(features.x);
+
+    // Ground truth from the oracle.
+    const auto truth = scenario.global_scheduler().allocate(
+        scenario.terminal(0), s);
+    int truth_cluster = -1;
+    if (truth.has_value()) {
+      core::SlotObs withpick = obs;
+      for (std::size_t i = 0; i < withpick.available.size(); ++i) {
+        if (withpick.available[i].norad_id == truth->norad_id) {
+          withpick.chosen = static_cast<int>(i);
+        }
+      }
+      truth_cluster = featurizer.featurize(withpick).label;
+    }
+
+    std::printf("  slot %+d: predicted clusters", static_cast<int>(s - first_future));
+    bool hit = false;
+    for (int k = 0; k < 5; ++k) {
+      const int cls = ranked[static_cast<std::size_t>(k)];
+      const bool match = cls == truth_cluster;
+      hit = hit || match;
+      std::printf(" %s%s", core::ClusterFeaturizer::cluster_name(cls).c_str(),
+                  match ? "*" : "");
+    }
+    if (truth_cluster >= 0) {
+      ++total;
+      if (hit) ++hits_top5;
+      std::printf("   truth %s",
+                  core::ClusterFeaturizer::cluster_name(truth_cluster).c_str());
+    }
+    std::printf("\n");
+  }
+  if (total > 0) {
+    std::printf("\ntop-5 hits on these live slots: %d/%d\n", hits_top5, total);
+  }
+  std::printf("(cluster tuples are (azimuth, AOE, age, sunlit) z-buckets, as "
+              "in the paper)\n");
+  return 0;
+}

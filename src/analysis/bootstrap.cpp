@@ -1,0 +1,71 @@
+#include "analysis/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "analysis/stats.hpp"
+
+namespace starlab::analysis {
+
+namespace {
+
+std::vector<double> resample(std::span<const double> sample,
+                             std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> pick(0, sample.size() - 1);
+  std::vector<double> out(sample.size());
+  for (double& v : out) v = sample[pick(rng)];
+  return out;
+}
+
+BootstrapCi ci_from_distribution(double point, std::vector<double> values,
+                                 double alpha) {
+  std::sort(values.begin(), values.end());
+  const auto lo_idx = static_cast<std::size_t>(
+      alpha / 2.0 * static_cast<double>(values.size()));
+  const auto hi_idx = std::min(
+      values.size() - 1, static_cast<std::size_t>(
+                             (1.0 - alpha / 2.0) *
+                             static_cast<double>(values.size())));
+  return {point, values[lo_idx], values[hi_idx]};
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_ci(std::span<const double> sample,
+                         const Statistic& statistic, std::mt19937_64& rng,
+                         int resamples, double alpha) {
+  if (sample.empty() || resamples < 2) return {};
+  const double point = statistic(sample);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    const std::vector<double> re = resample(sample, rng);
+    values.push_back(statistic(re));
+  }
+  return ci_from_distribution(point, std::move(values), alpha);
+}
+
+BootstrapCi bootstrap_median_ci(std::span<const double> sample,
+                                std::mt19937_64& rng, int resamples,
+                                double alpha) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> v) { return median(v); }, rng,
+      resamples, alpha);
+}
+
+BootstrapCi bootstrap_median_diff_ci(std::span<const double> a,
+                                     std::span<const double> b,
+                                     std::mt19937_64& rng, int resamples,
+                                     double alpha) {
+  if (a.empty() || b.empty() || resamples < 2) return {};
+  const double point = median(a) - median(b);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    const std::vector<double> ra = resample(a, rng);
+    const std::vector<double> rb = resample(b, rng);
+    values.push_back(median(ra) - median(rb));
+  }
+  return ci_from_distribution(point, std::move(values), alpha);
+}
+
+}  // namespace starlab::analysis

@@ -1,0 +1,78 @@
+#include "analysis/handover.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geo/topocentric.hpp"
+
+namespace starlab::analysis {
+
+HandoverStats handover_stats(const std::vector<AllocationStep>& sequence) {
+  HandoverStats out;
+
+  std::map<int, std::size_t> dwells_per_satellite;
+  std::size_t transitions = 0;
+  std::size_t current_dwell = 0;
+  std::vector<std::size_t> dwell_lengths;
+  double jump_sum = 0.0;
+
+  const AllocationStep* prev = nullptr;
+  for (const AllocationStep& step : sequence) {
+    if (step.norad_id < 0) {
+      // Gap: close any open dwell.
+      if (current_dwell > 0) dwell_lengths.push_back(current_dwell);
+      current_dwell = 0;
+      prev = nullptr;
+      continue;
+    }
+    ++out.slots;
+
+    if (prev != nullptr) {
+      ++transitions;
+      if (prev->norad_id != step.norad_id) {
+        ++out.handovers;
+        dwell_lengths.push_back(current_dwell);
+        current_dwell = 0;
+
+        const double jump = geo::sky_separation_deg(
+            prev->azimuth_deg, prev->elevation_deg, step.azimuth_deg,
+            step.elevation_deg);
+        jump_sum += jump;
+        out.max_jump_deg = std::max(out.max_jump_deg, jump);
+      }
+    }
+    if (current_dwell == 0) dwells_per_satellite[step.norad_id] += 1;
+    ++current_dwell;
+    prev = &step;
+  }
+  if (current_dwell > 0) dwell_lengths.push_back(current_dwell);
+
+  if (transitions > 0) {
+    out.handover_rate =
+        static_cast<double>(out.handovers) / static_cast<double>(transitions);
+  }
+  if (!dwell_lengths.empty()) {
+    std::size_t sum = 0;
+    for (const std::size_t d : dwell_lengths) {
+      sum += d;
+      out.max_dwell_slots = std::max(out.max_dwell_slots, d);
+    }
+    out.mean_dwell_slots =
+        static_cast<double>(sum) / static_cast<double>(dwell_lengths.size());
+  }
+  if (out.handovers > 0) {
+    out.mean_jump_deg = jump_sum / static_cast<double>(out.handovers);
+  }
+  out.distinct_satellites = dwells_per_satellite.size();
+  if (!dwells_per_satellite.empty()) {
+    std::size_t revisited = 0;
+    for (const auto& [norad, dwells] : dwells_per_satellite) {
+      if (dwells > 1) ++revisited;
+    }
+    out.revisit_fraction = static_cast<double>(revisited) /
+                           static_cast<double>(dwells_per_satellite.size());
+  }
+  return out;
+}
+
+}  // namespace starlab::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+// Handover dynamics: how the 15-second global re-allocation moves a terminal
+// between satellites over time. The paper's §3 argument ("15 s is too short
+// for satellite motion to explain the latency changes") implies frequent
+// satellite *changes*; this module quantifies them — change rate, dwell
+// lengths, revisits, and the angular size of the sky jump at each handover.
+
+#include <cstddef>
+#include <vector>
+
+namespace starlab::analysis {
+
+/// One terminal's allocation sequence, as (norad id, azimuth, elevation)
+/// per slot; norad < 0 marks a slot with no allocation.
+struct AllocationStep {
+  int norad_id = -1;
+  double azimuth_deg = 0.0;
+  double elevation_deg = 0.0;
+};
+
+struct HandoverStats {
+  std::size_t slots = 0;             ///< slots with an allocation
+  std::size_t handovers = 0;         ///< consecutive-slot satellite changes
+  double handover_rate = 0.0;        ///< handovers / transitions
+  double mean_dwell_slots = 0.0;     ///< average consecutive-slot run length
+  std::size_t max_dwell_slots = 0;
+  double mean_jump_deg = 0.0;        ///< sky separation across a handover
+  double max_jump_deg = 0.0;
+  std::size_t distinct_satellites = 0;
+  double revisit_fraction = 0.0;     ///< satellites serving >1 dwell
+};
+
+/// Compute handover statistics over an allocation sequence (consecutive
+/// slots; gaps with norad < 0 break dwells but are not counted as
+/// handovers).
+[[nodiscard]] HandoverStats handover_stats(
+    const std::vector<AllocationStep>& sequence);
+
+}  // namespace starlab::analysis

@@ -1,0 +1,72 @@
+#include "analysis/mann_whitney.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace starlab::analysis {
+
+namespace {
+
+/// Standard normal two-sided tail probability via erfc.
+double two_sided_p(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  MannWhitneyResult out;
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0) return out;
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (const double x : a) pooled.push_back({x, true});
+  for (const double x : b) pooled.push_back({x, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+  const double n = static_cast<double>(n1 + n2);
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    // Ranks are 1-based; the tied group [i, j) all receive the average rank.
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const double t = static_cast<double>(j - i);
+    tie_correction += t * t * t - t;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += avg_rank;
+    }
+    i = j;
+  }
+
+  const double n1d = static_cast<double>(n1);
+  const double n2d = static_cast<double>(n2);
+  out.u = rank_sum_a - n1d * (n1d + 1.0) / 2.0;
+
+  const double mu = n1d * n2d / 2.0;
+  const double sigma_sq =
+      n1d * n2d / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (sigma_sq <= 0.0) return out;  // everything tied: p stays 1
+
+  // Continuity correction toward the mean.
+  const double diff = out.u - mu;
+  const double cc = diff > 0.0 ? -0.5 : (diff < 0.0 ? 0.5 : 0.0);
+  out.z = (diff + cc) / std::sqrt(sigma_sq);
+  out.p_two_sided = two_sided_p(out.z);
+  return out;
+}
+
+}  // namespace starlab::analysis

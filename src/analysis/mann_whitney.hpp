@@ -1,0 +1,25 @@
+#pragma once
+
+// Mann-Whitney U test (two-sided, tie-corrected normal approximation).
+//
+// §3 validates the 15-second discontinuities by testing that RTT samples in
+// consecutive scheduling windows come from different distributions
+// (p < .05). The normal approximation is exact enough at the paper's sample
+// sizes (hundreds of probes per window).
+
+#include <span>
+
+namespace starlab::analysis {
+
+struct MannWhitneyResult {
+  double u = 0.0;             ///< U statistic of the first sample
+  double z = 0.0;             ///< tie-corrected z-score
+  double p_two_sided = 1.0;
+};
+
+/// Two-sided Mann-Whitney U test. Requires both samples non-empty; returns
+/// p == 1 for degenerate inputs (all values tied).
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+}  // namespace starlab::analysis

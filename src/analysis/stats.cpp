@@ -1,0 +1,64 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace starlab::analysis {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return kNaN;
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double ss = 0.0;
+  for (const double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double quantile(std::span<const double> v, double p) {
+  if (v.empty()) return kNaN;
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> v) { return quantile(v, 0.5); }
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return kNaN;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return kNaN;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double fraction_in_range(std::span<const double> v, double lo, double hi) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const double x : v) {
+    if (x >= lo && x <= hi) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+}  // namespace starlab::analysis

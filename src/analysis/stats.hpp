@@ -1,0 +1,30 @@
+#pragma once
+
+// Descriptive statistics shared by the §5 analyses.
+
+#include <span>
+#include <vector>
+
+namespace starlab::analysis {
+
+[[nodiscard]] double mean(std::span<const double> v);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> v);
+
+/// Median (average of middle two for even sizes). NaN for empty input.
+[[nodiscard]] double median(std::span<const double> v);
+
+/// Linear-interpolated quantile, p in [0, 1]. NaN for empty input.
+[[nodiscard]] double quantile(std::span<const double> v, double p);
+
+/// Pearson correlation coefficient; NaN when either side is constant or
+/// sizes mismatch/empty.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Fraction of values within [lo, hi].
+[[nodiscard]] double fraction_in_range(std::span<const double> v, double lo,
+                                       double hi);
+
+}  // namespace starlab::analysis

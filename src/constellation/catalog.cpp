@@ -1,0 +1,170 @@
+#include "constellation/catalog.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "geo/frames.hpp"
+#include "sun/eclipse.hpp"
+
+namespace starlab::constellation {
+
+namespace {
+
+/// Reconstruct an approximate launch date from an international designator
+/// "YYNNNx": year from YY, and spread launch numbers across the year. Used
+/// only when a catalog is loaded from bare TLE text.
+time::UtcTime launch_date_from_designator(const std::string& desig) {
+  time::UtcTime t;
+  if (desig.size() < 5) return t;
+  const int yy = std::atoi(desig.substr(0, 2).c_str());
+  const int launch_num = std::atoi(desig.substr(2, 3).c_str());
+  t.year = yy < 57 ? 2000 + yy : 1900 + yy;
+  // Roughly 100 orbital launches/year worldwide: map launch number to a
+  // month bucket.
+  t.month = std::min(12, 1 + (launch_num - 1) / 9);
+  t.day = 1;
+  return t;
+}
+
+std::string month_label_of(const time::UtcTime& t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", t.year, t.month);
+  return buf;
+}
+
+}  // namespace
+
+Catalog::Catalog(Constellation constellation)
+    : records_(std::move(constellation.satellites)),
+      launches_(std::move(constellation.launches)) {
+  ephemerides_.reserve(records_.size());
+  for (const SatelliteRecord& r : records_) {
+    ephemerides_.emplace_back(r.tle);
+  }
+}
+
+Catalog::Catalog(const std::vector<tle::Tle>& tles) {
+  records_.reserve(tles.size());
+  std::unordered_map<std::string, int> label_to_launch;
+  for (const tle::Tle& t : tles) {
+    SatelliteRecord r;
+    r.tle = t;
+    r.launch_date = launch_date_from_designator(t.intl_designator);
+    r.launch_label = month_label_of(r.launch_date);
+    auto [it, inserted] = label_to_launch.try_emplace(
+        r.launch_label, static_cast<int>(label_to_launch.size()));
+    r.launch_index = it->second;
+    if (inserted) {
+      LaunchBatch batch;
+      batch.index = r.launch_index;
+      batch.date = r.launch_date;
+      batch.label = r.launch_label;
+      batch.first_norad_id = t.norad_id;
+      launches_.push_back(std::move(batch));
+    }
+    launches_[static_cast<std::size_t>(r.launch_index)].count += 1;
+    records_.push_back(std::move(r));
+  }
+  ephemerides_.reserve(records_.size());
+  for (const SatelliteRecord& r : records_) {
+    ephemerides_.emplace_back(r.tle);
+  }
+}
+
+std::optional<std::size_t> Catalog::index_of(int norad_id) const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].tle.norad_id == norad_id) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<Catalog::Snapshot> Catalog::propagate_all(
+    const time::JulianDate& jd) const {
+  std::vector<Snapshot> out(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    try {
+      const sgp4::StateVector st = ephemerides_[i].state_teme(jd);
+      out[i].valid = true;
+      out[i].teme_km = st.position_km;
+      out[i].ecef_km = geo::teme_to_ecef(st.position_km, jd);
+      out[i].sunlit = sun::is_sunlit(st.position_km, jd);
+    } catch (const sgp4::Sgp4Error&) {
+      out[i].valid = false;
+    }
+  }
+  return out;
+}
+
+std::vector<SkyEntry> Catalog::visible_from_snapshots(
+    std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
+    const time::JulianDate& jd, double min_elevation_deg) const {
+  std::vector<SkyEntry> out;
+  const double unix_sec = jd.to_unix_seconds();
+  const geo::Vec3 obs_ecef = geo::geodetic_to_ecef(observer);
+  constexpr double kCullRangeKm = 3000.0;
+
+  for (std::size_t i = 0; i < records_.size() && i < snapshots.size(); ++i) {
+    const Snapshot& snap = snapshots[i];
+    if (!snap.valid) continue;
+    if ((snap.ecef_km - obs_ecef).norm() > kCullRangeKm) continue;
+
+    const geo::LookAngles look = geo::look_angles(observer, snap.ecef_km);
+    if (look.elevation_deg < min_elevation_deg) continue;
+
+    SkyEntry e;
+    e.norad_id = records_[i].tle.norad_id;
+    e.catalog_index = i;
+    e.look = look;
+    e.sunlit = snap.sunlit;
+    e.age_days = records_[i].age_days(unix_sec);
+    e.position_teme_km = snap.teme_km;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SkyEntry> Catalog::visible_from(const geo::Geodetic& observer,
+                                            const time::JulianDate& jd,
+                                            double min_elevation_deg) const {
+  std::vector<SkyEntry> out;
+  const double unix_sec = jd.to_unix_seconds();
+  const geo::Vec3 obs_ecef = geo::geodetic_to_ecef(observer);
+  // Cheap pre-cull: a satellite below `min_elevation_deg` is certainly
+  // farther than the horizon-limited slant range for the highest shell.
+  // For a 600 km shell and 25 deg minimum elevation the slant range is
+  // ~1200 km; we cull at 3000 km straight-line distance before running the
+  // full topocentric transform.
+  constexpr double kCullRangeKm = 3000.0;
+
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    sgp4::StateVector st;
+    try {
+      st = ephemerides_[i].state_teme(jd);
+    } catch (const sgp4::Sgp4Error&) {
+      continue;  // decayed satellites silently leave the sky
+    }
+    const geo::Vec3 ecef = geo::teme_to_ecef(st.position_km, jd);
+    if ((ecef - obs_ecef).norm() > kCullRangeKm) continue;
+
+    const geo::LookAngles look = geo::look_angles(observer, ecef);
+    if (look.elevation_deg < min_elevation_deg) continue;
+
+    SkyEntry e;
+    e.norad_id = records_[i].tle.norad_id;
+    e.catalog_index = i;
+    e.look = look;
+    e.sunlit = sun::is_sunlit(st.position_km, jd);
+    e.age_days = records_[i].age_days(unix_sec);
+    e.position_teme_km = st.position_km;
+    out.push_back(e);
+  }
+  return out;
+}
+
+geo::LookAngles Catalog::look_at(std::size_t index,
+                                 const geo::Geodetic& observer,
+                                 const time::JulianDate& jd) const {
+  return ephemerides_[index].look_from(observer, jd);
+}
+
+}  // namespace starlab::constellation

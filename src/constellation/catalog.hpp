@@ -1,0 +1,97 @@
+#pragma once
+
+// Catalog: the propagation-ready form of a constellation. Owns one SGP4
+// ephemeris per satellite and answers the query every layer above needs:
+// "where is everything in this observer's sky at time t?".
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "constellation/synthesizer.hpp"
+#include "geo/geodetic.hpp"
+#include "geo/topocentric.hpp"
+#include "sgp4/ephemeris.hpp"
+#include "time/julian_date.hpp"
+
+namespace starlab::constellation {
+
+/// One satellite as seen from an observer at one instant.
+struct SkyEntry {
+  int norad_id = 0;
+  std::size_t catalog_index = 0;  ///< index into Catalog::records()
+  geo::LookAngles look;           ///< azimuth/elevation/range
+  bool sunlit = true;             ///< conical model, penumbra == sunlit
+  double age_days = 0.0;          ///< days since launch
+  geo::Vec3 position_teme_km;     ///< for shadow/extra geometry
+};
+
+class Catalog {
+ public:
+  /// Build from a synthesized constellation. Throws Sgp4Error if any element
+  /// set fails to initialize.
+  explicit Catalog(Constellation constellation);
+
+  /// Build from raw TLEs (e.g. loaded from a catalog file); launch metadata
+  /// is reconstructed from each TLE's international designator.
+  explicit Catalog(const std::vector<tle::Tle>& tles);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<SatelliteRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<LaunchBatch>& launches() const {
+    return launches_;
+  }
+
+  /// Record lookup by NORAD id; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(int norad_id) const;
+
+  [[nodiscard]] const SatelliteRecord& record(std::size_t index) const {
+    return records_[index];
+  }
+  [[nodiscard]] const sgp4::Ephemeris& ephemeris(std::size_t index) const {
+    return ephemerides_[index];
+  }
+
+  /// All satellites above `min_elevation_deg` in the observer's sky at `jd`,
+  /// with illumination and age annotated. This is the paper's "available
+  /// satellites" set (~40 entries for a Starlink-density constellation at
+  /// 25 deg).
+  [[nodiscard]] std::vector<SkyEntry> visible_from(
+      const geo::Geodetic& observer, const time::JulianDate& jd,
+      double min_elevation_deg = 25.0) const;
+
+  /// One satellite's propagated snapshot at a fixed instant, shared across
+  /// observers (TEME/ECEF positions are observer-independent).
+  struct Snapshot {
+    bool valid = false;  ///< false when the satellite decayed / SGP4 failed
+    geo::Vec3 teme_km;
+    geo::Vec3 ecef_km;
+    bool sunlit = true;
+  };
+
+  /// Propagate the whole catalog once for an instant. Campaigns evaluating
+  /// several terminals at the same slot call this once and then
+  /// visible_from_snapshots() per terminal.
+  [[nodiscard]] std::vector<Snapshot> propagate_all(
+      const time::JulianDate& jd) const;
+
+  /// visible_from() against precomputed snapshots.
+  [[nodiscard]] std::vector<SkyEntry> visible_from_snapshots(
+      std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
+      const time::JulianDate& jd, double min_elevation_deg = 25.0) const;
+
+  /// Look angles of one satellite from an observer (no elevation cut).
+  [[nodiscard]] geo::LookAngles look_at(std::size_t index,
+                                        const geo::Geodetic& observer,
+                                        const time::JulianDate& jd) const;
+
+ private:
+  std::vector<SatelliteRecord> records_;
+  std::vector<LaunchBatch> launches_;
+  std::vector<sgp4::Ephemeris> ephemerides_;
+};
+
+}  // namespace starlab::constellation

@@ -1,0 +1,54 @@
+#include "constellation/walker.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/wgs.hpp"
+
+namespace starlab::constellation {
+
+double circular_mean_motion_rev_per_day(double altitude_km) {
+  const double a_km = geo::kWgs72.radius_km + altitude_km;
+  const double n_rad_s = std::sqrt(geo::kWgs72.mu_km3_s2 / (a_km * a_km * a_km));
+  return n_rad_s * 86400.0 / geo::kTwoPi;
+}
+
+std::vector<WalkerElement> generate_walker(const WalkerShell& shell) {
+  std::vector<WalkerElement> out;
+  out.reserve(static_cast<std::size_t>(shell.total_satellites()));
+
+  const double raan_step = 360.0 / shell.planes;
+  const double slot_step = 360.0 / shell.sats_per_plane;
+  // Walker phasing: adjacent planes are offset in mean anomaly by
+  // F * 360 / T degrees.
+  const double phase_step =
+      static_cast<double>(shell.phasing) * 360.0 / shell.total_satellites();
+  const double n = circular_mean_motion_rev_per_day(shell.altitude_km);
+
+  for (int p = 0; p < shell.planes; ++p) {
+    for (int s = 0; s < shell.sats_per_plane; ++s) {
+      WalkerElement e;
+      e.plane = p;
+      e.slot = s;
+      e.inclination_deg = shell.inclination_deg;
+      e.raan_deg = geo::wrap_360(shell.raan_offset_deg + p * raan_step);
+      e.mean_anomaly_deg = geo::wrap_360(s * slot_step + p * phase_step);
+      e.altitude_km = shell.altitude_km;
+      e.mean_motion_rev_per_day = n;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<WalkerShell> starlink_gen1_shells() {
+  return {
+      // inclination, altitude, planes, sats/plane, phasing, raan offset
+      {53.0, 550.0, 72, 22, 17, 0.0},
+      {53.2, 540.0, 72, 22, 17, 2.5},
+      {70.0, 570.0, 36, 20, 11, 0.0},
+      {97.6, 560.0, 6, 58, 1, 0.0},
+  };
+}
+
+}  // namespace starlab::constellation

@@ -1,0 +1,78 @@
+#include "core/campaign.hpp"
+
+#include "sun/solar_ephemeris.hpp"
+
+namespace starlab::core {
+
+std::vector<const SlotObs*> CampaignData::for_terminal(
+    std::size_t terminal_index) const {
+  std::vector<const SlotObs*> out;
+  for (const SlotObs& s : slots) {
+    if (s.terminal_index == terminal_index) out.push_back(&s);
+  }
+  return out;
+}
+
+CampaignData run_campaign(const Scenario& scenario,
+                          const CampaignConfig& config) {
+  CampaignData data;
+  for (const ground::Terminal& t : scenario.terminals()) {
+    data.terminal_names.push_back(t.name());
+  }
+
+  const time::SlotGrid& grid = scenario.grid();
+  const time::SlotIndex first =
+      scenario.first_slot() +
+      static_cast<time::SlotIndex>(config.start_offset_hours * 3600.0 /
+                                   grid.period_seconds());
+  const auto num_slots = static_cast<time::SlotIndex>(
+      config.duration_hours * 3600.0 / grid.period_seconds());
+  const scheduler::GlobalScheduler& global = scenario.global_scheduler();
+  const constellation::Catalog& catalog = scenario.catalog();
+
+  for (time::SlotIndex s = first; s < first + num_slots;
+       s += config.slot_stride) {
+    const double t_mid = grid.slot_mid(s);
+    const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
+
+    // One catalog propagation shared by every terminal in this slot.
+    const std::vector<constellation::Catalog::Snapshot> snaps =
+        catalog.propagate_all(jd);
+
+    for (std::size_t ti = 0; ti < scenario.terminals().size(); ++ti) {
+      const ground::Terminal& terminal = scenario.terminal(ti);
+      std::vector<ground::Candidate> candidates =
+          terminal.candidates_from_snapshots(catalog, snaps, jd);
+
+      SlotObs obs;
+      obs.slot = s;
+      obs.terminal_index = ti;
+      obs.unix_mid = t_mid;
+      obs.local_hour =
+          sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+
+      // Record the usable candidates (paper: "available satellites").
+      for (const ground::Candidate& c : candidates) {
+        if (!c.usable()) continue;
+        obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
+                                 c.sky.look.elevation_deg, c.sky.age_days,
+                                 c.sky.sunlit});
+      }
+
+      const std::optional<scheduler::Allocation> alloc =
+          global.allocate_from(terminal, s, candidates);
+      if (alloc.has_value()) {
+        for (std::size_t i = 0; i < obs.available.size(); ++i) {
+          if (obs.available[i].norad_id == alloc->norad_id) {
+            obs.chosen = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      data.slots.push_back(std::move(obs));
+    }
+  }
+  return data;
+}
+
+}  // namespace starlab::core

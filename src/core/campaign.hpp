@@ -1,0 +1,70 @@
+#pragma once
+
+// A measurement campaign: the longitudinal slot-by-slot observation record
+// that all of §5's analyses and §6's model are computed from.
+//
+// For every 15-second slot and every terminal, the campaign records the
+// available (usable) candidate set — azimuth, elevation, launch age, sunlit
+// state of each — plus which satellite the (black-box) global scheduler
+// picked. In the real study the "picked" column comes from the §4
+// obstruction-map pipeline; here it can come either from that same pipeline
+// (see core/pipeline.hpp) or directly from the oracle, which §4's >99 %
+// agreement validates as interchangeable for the downstream analyses.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace starlab::core {
+
+/// One available satellite as recorded for one slot.
+struct CandidateObs {
+  int norad_id = 0;
+  double azimuth_deg = 0.0;
+  double elevation_deg = 0.0;
+  double age_days = 0.0;
+  bool sunlit = true;
+};
+
+/// One (terminal, slot) observation.
+struct SlotObs {
+  time::SlotIndex slot = 0;
+  std::size_t terminal_index = 0;
+  double unix_mid = 0.0;      ///< slot midpoint
+  double local_hour = 0.0;    ///< local solar hour at the terminal
+  std::vector<CandidateObs> available;  ///< usable candidates
+  int chosen = -1;            ///< index into `available`; -1 if none
+
+  [[nodiscard]] bool has_choice() const { return chosen >= 0; }
+  [[nodiscard]] const CandidateObs& chosen_candidate() const {
+    return available[static_cast<std::size_t>(chosen)];
+  }
+};
+
+struct CampaignData {
+  std::vector<std::string> terminal_names;
+  std::vector<SlotObs> slots;
+
+  /// Observations of one terminal only.
+  [[nodiscard]] std::vector<const SlotObs*> for_terminal(
+      std::size_t terminal_index) const;
+};
+
+struct CampaignConfig {
+  double duration_hours = 24.0;
+  /// Start this many hours after the scenario epoch (lets a study carve
+  /// disjoint train/evaluation windows from one world).
+  double start_offset_hours = 0.0;
+  /// Sub-sample the slot grid: record every k-th slot. §5's statistics are
+  /// about per-slot *distributions*, so thinning trades time for variance
+  /// without bias.
+  int slot_stride = 1;
+};
+
+/// Run a campaign over the scenario's terminals starting at its TLE epoch.
+[[nodiscard]] CampaignData run_campaign(const Scenario& scenario,
+                                        const CampaignConfig& config = {});
+
+}  // namespace starlab::core

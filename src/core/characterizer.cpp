@@ -1,0 +1,238 @@
+#include "core/characterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/stats.hpp"
+
+namespace starlab::core {
+
+namespace {
+
+std::size_t quadrant_of(double azimuth_deg) {
+  // (NE, SE, SW, NW) == [0,90), [90,180), [180,270), [270,360).
+  const auto q = static_cast<std::size_t>(azimuth_deg / 90.0);
+  return std::min<std::size_t>(q, 3);
+}
+
+bool is_north(double azimuth_deg) {
+  return azimuth_deg >= 270.0 || azimuth_deg < 90.0;
+}
+
+}  // namespace
+
+SchedulerCharacterizer::SchedulerCharacterizer(
+    const CampaignData& data, const constellation::Catalog& catalog)
+    : data_(data), catalog_(catalog) {}
+
+AoeStats SchedulerCharacterizer::aoe_stats(std::size_t ti) const {
+  std::vector<double> available, chosen;
+  for (const SlotObs* s : data_.for_terminal(ti)) {
+    for (const CandidateObs& c : s->available) available.push_back(c.elevation_deg);
+    if (s->has_choice()) chosen.push_back(s->chosen_candidate().elevation_deg);
+  }
+
+  AoeStats out;
+  out.available = analysis::Ecdf(available);
+  out.chosen = analysis::Ecdf(chosen);
+  out.median_available_deg = analysis::median(available);
+  out.median_chosen_deg = analysis::median(chosen);
+  out.median_gap_deg = out.median_chosen_deg - out.median_available_deg;
+  out.frac_available_45_90 = analysis::fraction_in_range(available, 45.0, 90.0);
+  out.frac_chosen_45_90 = analysis::fraction_in_range(chosen, 45.0, 90.0);
+  return out;
+}
+
+AzimuthStats SchedulerCharacterizer::azimuth_stats(std::size_t ti) const {
+  std::vector<double> available, chosen;
+  for (const SlotObs* s : data_.for_terminal(ti)) {
+    for (const CandidateObs& c : s->available) available.push_back(c.azimuth_deg);
+    if (s->has_choice()) chosen.push_back(s->chosen_candidate().azimuth_deg);
+  }
+
+  AzimuthStats out;
+  out.available = analysis::Ecdf(available);
+  out.chosen = analysis::Ecdf(chosen);
+
+  for (const double az : available) {
+    out.quadrant_share_available[quadrant_of(az)] += 1.0;
+    if (is_north(az)) out.north_share_available += 1.0;
+  }
+  for (const double az : chosen) {
+    out.quadrant_share_chosen[quadrant_of(az)] += 1.0;
+    if (is_north(az)) out.north_share_chosen += 1.0;
+    if (az >= 270.0) out.nw_share_chosen += 1.0;
+  }
+  if (!available.empty()) {
+    for (double& q : out.quadrant_share_available) {
+      q /= static_cast<double>(available.size());
+    }
+    out.north_share_available /= static_cast<double>(available.size());
+  }
+  if (!chosen.empty()) {
+    for (double& q : out.quadrant_share_chosen) {
+      q /= static_cast<double>(chosen.size());
+    }
+    out.north_share_chosen /= static_cast<double>(chosen.size());
+    out.nw_share_chosen /= static_cast<double>(chosen.size());
+  }
+  return out;
+}
+
+LaunchPreference SchedulerCharacterizer::launch_preference(
+    std::size_t ti) const {
+  // Map norad -> launch label once.
+  std::unordered_map<int, std::string> label_of;
+  label_of.reserve(catalog_.size());
+  for (const constellation::SatelliteRecord& r : catalog_.records()) {
+    label_of.emplace(r.tle.norad_id, r.launch_label);
+  }
+
+  // Per-label tallies: in how many slots was a bird of that launch
+  // available, and in how many was one picked.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> tally;
+  for (const SlotObs* s : data_.for_terminal(ti)) {
+    std::set<std::string> labels_this_slot;
+    for (const CandidateObs& c : s->available) {
+      const auto it = label_of.find(c.norad_id);
+      if (it != label_of.end()) labels_this_slot.insert(it->second);
+    }
+    for (const std::string& label : labels_this_slot) {
+      tally[label].first += 1;
+    }
+    if (s->has_choice()) {
+      const auto it = label_of.find(s->chosen_candidate().norad_id);
+      if (it != label_of.end()) tally[it->second].second += 1;
+    }
+  }
+
+  LaunchPreference out;
+  if (tally.empty()) return out;
+
+  // "YYYY-MM" sorts chronologically as a string; months since the first bin
+  // give the regression abscissa.
+  const std::string& first_label = tally.begin()->first;
+  const int first_year = std::stoi(first_label.substr(0, 4));
+  const int first_month = std::stoi(first_label.substr(5, 2));
+
+  std::vector<double> xs, ys;
+  for (const auto& [label, counts] : tally) {
+    LaunchPreference::Bin bin;
+    bin.label = label;
+    const int year = std::stoi(label.substr(0, 4));
+    const int month = std::stoi(label.substr(5, 2));
+    bin.months_since_first = (year - first_year) * 12.0 + (month - first_month);
+    bin.available_slots = counts.first;
+    bin.picked_slots = counts.second;
+    bin.pick_ratio =
+        counts.first == 0
+            ? 0.0
+            : static_cast<double>(counts.second) / static_cast<double>(counts.first);
+    if (bin.available_slots >= 10) {  // skip bins too rare to estimate
+      xs.push_back(bin.months_since_first);
+      ys.push_back(bin.pick_ratio);
+    }
+    out.bins.push_back(std::move(bin));
+  }
+  const double r = analysis::pearson(xs, ys);
+  out.pearson_r = std::isnan(r) ? 0.0 : r;
+  return out;
+}
+
+SunlitStats SchedulerCharacterizer::sunlit_stats(std::size_t ti) const {
+  SunlitStats out;
+  std::vector<double> dark_avail, dark_chosen, sunlit_avail, sunlit_chosen;
+  std::size_t sunlit_picks_in_mixed = 0;
+
+  for (const SlotObs* s : data_.for_terminal(ti)) {
+    std::size_t n_dark = 0, n_sunlit = 0;
+    for (const CandidateObs& c : s->available) {
+      if (c.sunlit) {
+        ++n_sunlit;
+        sunlit_avail.push_back(c.elevation_deg);
+      } else {
+        ++n_dark;
+        dark_avail.push_back(c.elevation_deg);
+      }
+    }
+
+    const bool mixed = n_dark > 0 && n_sunlit > 0;
+    if (mixed) ++out.mixed_slots;
+
+    if (s->has_choice()) {
+      const CandidateObs& pick = s->chosen_candidate();
+      if (pick.sunlit) {
+        sunlit_chosen.push_back(pick.elevation_deg);
+        if (mixed) ++sunlit_picks_in_mixed;
+      } else {
+        dark_chosen.push_back(pick.elevation_deg);
+        if (!s->available.empty()) {
+          const double dark_fraction = static_cast<double>(n_dark) /
+                                       static_cast<double>(s->available.size());
+          out.min_dark_fraction_when_dark_picked =
+              std::min(out.min_dark_fraction_when_dark_picked, dark_fraction);
+        }
+      }
+    }
+  }
+
+  if (out.mixed_slots > 0) {
+    out.sunlit_pick_rate = static_cast<double>(sunlit_picks_in_mixed) /
+                           static_cast<double>(out.mixed_slots);
+  }
+  out.aoe_dark_available = analysis::Ecdf(dark_avail);
+  out.aoe_dark_chosen = analysis::Ecdf(dark_chosen);
+  out.aoe_sunlit_available = analysis::Ecdf(sunlit_avail);
+  out.aoe_sunlit_chosen = analysis::Ecdf(sunlit_chosen);
+  out.median_aoe_dark_chosen = analysis::median(dark_chosen);
+  out.median_aoe_sunlit_chosen = analysis::median(sunlit_chosen);
+  out.frac_dark_chosen_above_60 =
+      analysis::fraction_in_range(dark_chosen, 60.0, 90.0);
+  out.frac_sunlit_chosen_above_60 =
+      analysis::fraction_in_range(sunlit_chosen, 60.0, 90.0);
+  return out;
+}
+
+DiurnalStats SchedulerCharacterizer::diurnal_stats(std::size_t ti) const {
+  DiurnalStats out;
+  std::array<double, 24> aoe_sum{};
+  std::array<std::size_t, 24> picks{};
+  std::array<std::size_t, 24> sunlit_picks{};
+  std::array<std::size_t, 24> candidates{};
+  std::array<std::size_t, 24> dark_candidates{};
+
+  for (const SlotObs* s : data_.for_terminal(ti)) {
+    auto hour = static_cast<std::size_t>(s->local_hour);
+    if (hour > 23) hour = 23;
+    out.by_hour[hour].slots += 1;
+    for (const CandidateObs& c : s->available) {
+      candidates[hour] += 1;
+      if (!c.sunlit) dark_candidates[hour] += 1;
+    }
+    if (s->has_choice()) {
+      const CandidateObs& pick = s->chosen_candidate();
+      picks[hour] += 1;
+      aoe_sum[hour] += pick.elevation_deg;
+      if (pick.sunlit) sunlit_picks[hour] += 1;
+    }
+  }
+
+  for (std::size_t h = 0; h < 24; ++h) {
+    DiurnalStats::HourBin& bin = out.by_hour[h];
+    if (picks[h] > 0) {
+      bin.mean_pick_aoe_deg = aoe_sum[h] / static_cast<double>(picks[h]);
+      bin.sunlit_pick_fraction =
+          static_cast<double>(sunlit_picks[h]) / static_cast<double>(picks[h]);
+    }
+    if (candidates[h] > 0) {
+      bin.dark_available_fraction = static_cast<double>(dark_candidates[h]) /
+                                    static_cast<double>(candidates[h]);
+    }
+  }
+  return out;
+}
+
+}  // namespace starlab::core

@@ -1,0 +1,120 @@
+#pragma once
+
+// §5: characterizing the global scheduler from campaign data.
+//
+// Every statistic the paper reports about the scheduler's preferences is
+// computed here, from the same kind of observation record the paper built:
+// per-slot available-satellite sets plus the identified pick.
+//
+//   * AOE preference (Fig 4): available vs selected elevation CDFs, the
+//     median gap, and the 45-90 deg shares.
+//   * Azimuth preference (Fig 5): available vs selected azimuth CDFs,
+//     quadrant shares, the north share, and the NW share (which exposes
+//     Ithaca's tree obstruction).
+//   * Launch-date preference (Fig 6): per-launch pick/availability ratios
+//     and their Pearson correlation with launch date.
+//   * Sunlit preference (§5.3 / Fig 7): pick rates in mixed slots, the dark
+//     fraction at which dark satellites start being picked, and the
+//     dark/sunlit selected-AOE split.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/ecdf.hpp"
+#include "constellation/catalog.hpp"
+#include "core/campaign.hpp"
+
+namespace starlab::core {
+
+/// Fig 4 row for one terminal.
+struct AoeStats {
+  analysis::Ecdf available;
+  analysis::Ecdf chosen;
+  double median_available_deg = 0.0;
+  double median_chosen_deg = 0.0;
+  double median_gap_deg = 0.0;           ///< chosen - available median AOE
+  double frac_available_45_90 = 0.0;
+  double frac_chosen_45_90 = 0.0;
+};
+
+/// Fig 5 row for one terminal. Quadrants are (NE, SE, SW, NW) == azimuth
+/// [0,90), [90,180), [180,270), [270,360).
+struct AzimuthStats {
+  analysis::Ecdf available;
+  analysis::Ecdf chosen;
+  std::array<double, 4> quadrant_share_available{};
+  std::array<double, 4> quadrant_share_chosen{};
+  double north_share_available = 0.0;  ///< az in [270,360) U [0,90)
+  double north_share_chosen = 0.0;
+  double nw_share_chosen = 0.0;        ///< az in [270,360) — Ithaca's gap
+};
+
+/// Fig 6 for one terminal.
+struct LaunchPreference {
+  struct Bin {
+    std::string label;              ///< "YYYY-MM"
+    double months_since_first = 0.0;
+    std::size_t available_slots = 0;  ///< slots with >= 1 bird of this launch
+    std::size_t picked_slots = 0;     ///< slots where such a bird was picked
+    double pick_ratio = 0.0;          ///< picked / available
+  };
+  std::vector<Bin> bins;  ///< ordered by launch date
+  double pearson_r = 0.0; ///< corr(months_since_first, pick_ratio)
+};
+
+/// §5.3 / Fig 7 for one terminal.
+struct SunlitStats {
+  std::size_t mixed_slots = 0;        ///< slots with both sunlit & dark birds
+  double sunlit_pick_rate = 0.0;      ///< P(pick sunlit | mixed slot)
+  /// Smallest dark/available fraction among slots where a dark bird was
+  /// picked (the paper's ">= 35 %" observation).
+  double min_dark_fraction_when_dark_picked = 1.0;
+  analysis::Ecdf aoe_dark_available, aoe_dark_chosen;
+  analysis::Ecdf aoe_sunlit_available, aoe_sunlit_chosen;
+  double median_aoe_dark_chosen = 0.0;
+  double median_aoe_sunlit_chosen = 0.0;
+  double frac_dark_chosen_above_60 = 0.0;
+  double frac_sunlit_chosen_above_60 = 0.0;
+};
+
+/// Diurnal behaviour: why `local_hour` tops the §6 feature importances.
+/// The scheduler's observable choices swing with the day/night cycle —
+/// at night dark satellites dominate availability and the picks climb
+/// toward zenith (the energy model).
+struct DiurnalStats {
+  struct HourBin {
+    std::size_t slots = 0;
+    double mean_pick_aoe_deg = 0.0;
+    double sunlit_pick_fraction = 0.0;   ///< of slots with a pick
+    double dark_available_fraction = 0.0;  ///< of all candidates
+  };
+  std::array<HourBin, 24> by_hour{};
+};
+
+class SchedulerCharacterizer {
+ public:
+  /// `catalog` supplies launch metadata for the Fig 6 analysis.
+  SchedulerCharacterizer(const CampaignData& data,
+                         const constellation::Catalog& catalog);
+
+  [[nodiscard]] AoeStats aoe_stats(std::size_t terminal_index) const;
+  [[nodiscard]] AzimuthStats azimuth_stats(std::size_t terminal_index) const;
+  [[nodiscard]] LaunchPreference launch_preference(
+      std::size_t terminal_index) const;
+  [[nodiscard]] SunlitStats sunlit_stats(std::size_t terminal_index) const;
+  [[nodiscard]] DiurnalStats diurnal_stats(std::size_t terminal_index) const;
+
+  [[nodiscard]] std::size_t num_terminals() const {
+    return data_.terminal_names.size();
+  }
+  [[nodiscard]] const std::string& terminal_name(std::size_t i) const {
+    return data_.terminal_names[i];
+  }
+
+ private:
+  const CampaignData& data_;
+  const constellation::Catalog& catalog_;
+};
+
+}  // namespace starlab::core

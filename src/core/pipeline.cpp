@@ -1,0 +1,146 @@
+#include "core/pipeline.hpp"
+
+#include "sun/solar_ephemeris.hpp"
+
+namespace starlab::core {
+
+double PipelineResult::accuracy() const {
+  std::size_t correct = 0, total = 0;
+  for (const SlotIdentification& r : rows) {
+    if (r.truth_norad.has_value() && r.inferred_norad.has_value()) {
+      ++total;
+      if (r.correct()) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::size_t PipelineResult::decided() const {
+  std::size_t n = 0;
+  for (const SlotIdentification& r : rows) {
+    if (r.inferred_norad.has_value()) ++n;
+  }
+  return n;
+}
+
+InferencePipeline::InferencePipeline(const Scenario& scenario,
+                                     PipelineConfig config)
+    : scenario_(scenario), config_(std::move(config)) {
+  if (config_.recover_geometry) {
+    const auto recovered =
+        recover_geometry_via_fill(scenario_, 0, config_.fill_hours);
+    geometry_ = recovered.has_value() ? recovered->geometry
+                                      : obsmap::MapGeometry{};
+  } else {
+    geometry_ = obsmap::MapGeometry{};  // the published (61,61)/45px layout
+  }
+}
+
+std::optional<obsmap::RecoveredParams>
+InferencePipeline::recover_geometry_via_fill(const Scenario& scenario,
+                                             std::size_t terminal_index,
+                                             double hours) {
+  const ground::Terminal& terminal = scenario.terminal(terminal_index);
+  obsmap::MapRecorder recorder(scenario.catalog(), terminal, scenario.grid());
+
+  const time::SlotIndex first = scenario.first_slot();
+  const auto num_slots = static_cast<time::SlotIndex>(
+      hours * 3600.0 / scenario.grid().period_seconds());
+  for (time::SlotIndex s = first; s < first + num_slots; ++s) {
+    recorder.record_slot(
+        scenario.global_scheduler().allocate(terminal, s));
+  }
+  return obsmap::recover_geometry(recorder.accumulated());
+}
+
+PipelineResult InferencePipeline::run(std::size_t terminal_index,
+                                      double duration_sec) const {
+  PipelineResult result;
+  const ground::Terminal& terminal = scenario_.terminal(terminal_index);
+  const time::SlotGrid& grid = scenario_.grid();
+  const scheduler::GlobalScheduler& global = scenario_.global_scheduler();
+
+  obsmap::MapRecorder recorder(scenario_.catalog(), terminal, grid,
+                               obsmap::TrajectoryPainter(geometry_));
+  match::SatelliteIdentifier identifier(scenario_.catalog(), geometry_, grid,
+                                        config_.identifier);
+
+  const time::SlotIndex first = scenario_.first_slot();
+  const auto num_slots =
+      static_cast<time::SlotIndex>(duration_sec / grid.period_seconds());
+  const auto slots_per_reset = static_cast<time::SlotIndex>(
+      config_.reset_interval_sec / grid.period_seconds());
+
+  std::optional<obsmap::ObstructionMap> prev_frame;
+  for (time::SlotIndex s = first; s < first + num_slots; ++s) {
+    // Scheduled terminal reset: wipes the frame, so the following slot has
+    // no previous frame to XOR against and is skipped (as in the paper).
+    if (slots_per_reset > 0 && (s - first) % slots_per_reset == 0 && s != first) {
+      recorder.reset();
+      prev_frame.reset();
+    }
+
+    const std::optional<scheduler::Allocation> truth =
+        global.allocate(terminal, s);
+    const obsmap::ObstructionMap frame = recorder.record_slot(truth);
+
+    if (prev_frame.has_value()) {
+      SlotIdentification row;
+      row.slot = s;
+      if (truth.has_value()) row.truth_norad = truth->norad_id;
+
+      const match::Identification id =
+          identifier.identify(terminal, s, *prev_frame, frame);
+      row.num_candidates = id.num_candidates;
+      row.trajectory_pixels = id.trajectory_pixels;
+      if (id.best.has_value()) {
+        row.inferred_norad = id.best->norad_id;
+        row.dtw = id.best->dtw;
+      }
+      result.rows.push_back(row);
+    }
+    prev_frame = frame;
+  }
+  return result;
+}
+
+CampaignData InferencePipeline::run_inferred_campaign(
+    double duration_sec) const {
+  CampaignData data;
+  for (const ground::Terminal& t : scenario_.terminals()) {
+    data.terminal_names.push_back(t.name());
+  }
+
+  const time::SlotGrid& grid = scenario_.grid();
+  for (std::size_t ti = 0; ti < scenario_.terminals().size(); ++ti) {
+    const ground::Terminal& terminal = scenario_.terminal(ti);
+    const PipelineResult inferred = run(ti, duration_sec);
+
+    for (const SlotIdentification& row : inferred.rows) {
+      const double t_mid = grid.slot_mid(row.slot);
+      const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
+
+      SlotObs obs;
+      obs.slot = row.slot;
+      obs.terminal_index = ti;
+      obs.unix_mid = t_mid;
+      obs.local_hour =
+          sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+      for (const ground::Candidate& c :
+           terminal.usable_candidates(scenario_.catalog(), jd)) {
+        if (row.inferred_norad.has_value() &&
+            c.sky.norad_id == *row.inferred_norad) {
+          obs.chosen = static_cast<int>(obs.available.size());
+        }
+        obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
+                                 c.sky.look.elevation_deg, c.sky.age_days,
+                                 c.sky.sunlit});
+      }
+      data.slots.push_back(std::move(obs));
+    }
+  }
+  return data;
+}
+
+}  // namespace starlab::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Umbrella header: the full starlab public API.
+//
+// starlab reproduces "Making Sense of Constellations: Methodologies for
+// Understanding Starlink's Scheduling Algorithms" (CoNEXT Companion '23).
+// Typical usage:
+//
+//   #include "core/starlab.hpp"
+//
+//   starlab::core::Scenario scenario;                    // 4 dishes + Gen1 shells
+//   auto data = starlab::core::run_campaign(scenario);   // §5 observation record
+//   starlab::core::SchedulerCharacterizer ch(data, scenario.catalog());
+//   auto fig4 = ch.aoe_stats(0);                         // Iowa's Fig 4 row
+//   auto model = starlab::core::train_scheduler_model(data);  // §6 / Fig 8
+//
+// See examples/ for runnable walkthroughs of every subsystem.
+
+#include "analysis/ecdf.hpp"            // IWYU pragma: export
+#include "analysis/handover.hpp"        // IWYU pragma: export
+#include "analysis/mann_whitney.hpp"    // IWYU pragma: export
+#include "analysis/stats.hpp"           // IWYU pragma: export
+#include "constellation/catalog.hpp"    // IWYU pragma: export
+#include "constellation/synthesizer.hpp"  // IWYU pragma: export
+#include "constellation/walker.hpp"     // IWYU pragma: export
+#include "core/campaign.hpp"            // IWYU pragma: export
+#include "core/characterizer.hpp"       // IWYU pragma: export
+#include "core/pipeline.hpp"            // IWYU pragma: export
+#include "core/scenario.hpp"            // IWYU pragma: export
+#include "core/satellite_predictor.hpp"  // IWYU pragma: export
+#include "core/scheduler_model.hpp"     // IWYU pragma: export
+#include "geo/geodetic.hpp"             // IWYU pragma: export
+#include "geo/gso_arc.hpp"              // IWYU pragma: export
+#include "geo/topocentric.hpp"          // IWYU pragma: export
+#include "ground/sites.hpp"             // IWYU pragma: export
+#include "ground/terminal.hpp"          // IWYU pragma: export
+#include "match/identifier.hpp"         // IWYU pragma: export
+#include "measurement/changepoint.hpp"  // IWYU pragma: export
+#include "measurement/rtt_prober.hpp"   // IWYU pragma: export
+#include "measurement/throughput.hpp"   // IWYU pragma: export
+#include "rf/link_budget.hpp"           // IWYU pragma: export
+#include "ml/grid_search.hpp"           // IWYU pragma: export
+#include "ml/random_forest.hpp"         // IWYU pragma: export
+#include "obsmap/map_params.hpp"        // IWYU pragma: export
+#include "obsmap/painter.hpp"           // IWYU pragma: export
+#include "scheduler/global_scheduler.hpp"  // IWYU pragma: export
+#include "scheduler/mac_scheduler.hpp"  // IWYU pragma: export
+#include "sgp4/ephemeris.hpp"           // IWYU pragma: export
+#include "sun/eclipse.hpp"              // IWYU pragma: export
+#include "tle/catalog_io.hpp"           // IWYU pragma: export

@@ -1,0 +1,53 @@
+#include "geo/geodetic.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/wgs.hpp"
+
+namespace starlab::geo {
+
+namespace {
+constexpr double kA = kWgs84.radius_km;
+constexpr double kF = kWgs84.flattening;
+constexpr double kE2 = kF * (2.0 - kF);  // first eccentricity squared
+}  // namespace
+
+Vec3 geodetic_to_ecef(const Geodetic& g) {
+  const double lat = deg_to_rad(g.latitude_deg);
+  const double lon = deg_to_rad(g.longitude_deg);
+  const double sin_lat = std::sin(lat);
+  const double cos_lat = std::cos(lat);
+
+  // Radius of curvature in the prime vertical.
+  const double n = kA / std::sqrt(1.0 - kE2 * sin_lat * sin_lat);
+
+  return {(n + g.height_km) * cos_lat * std::cos(lon),
+          (n + g.height_km) * cos_lat * std::sin(lon),
+          (n * (1.0 - kE2) + g.height_km) * sin_lat};
+}
+
+Geodetic ecef_to_geodetic(const Vec3& p) {
+  const double lon = std::atan2(p.y, p.x);
+  const double r_xy = std::hypot(p.x, p.y);
+
+  // Initial guess: spherical latitude, then iterate on the standard
+  // closed-loop geodetic relation.
+  double lat = std::atan2(p.z, r_xy);
+  double height = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double sin_lat = std::sin(lat);
+    const double n = kA / std::sqrt(1.0 - kE2 * sin_lat * sin_lat);
+    height = r_xy / std::cos(lat) - n;
+    const double new_lat = std::atan2(p.z, r_xy * (1.0 - kE2 * n / (n + height)));
+    if (std::fabs(new_lat - lat) < 1e-12) {
+      lat = new_lat;
+      break;
+    }
+    lat = new_lat;
+  }
+
+  return {rad_to_deg(lat), rad_to_deg(lon), height};
+}
+
+}  // namespace starlab::geo

@@ -1,0 +1,24 @@
+#pragma once
+
+// Geodetic (latitude/longitude/height) coordinates on the WGS-84 ellipsoid
+// and conversion to/from Earth-centred Earth-fixed (ECEF) Cartesian.
+
+#include "geo/vec3.hpp"
+
+namespace starlab::geo {
+
+/// A point on/above the WGS-84 ellipsoid.
+struct Geodetic {
+  double latitude_deg = 0.0;   ///< geodetic latitude, +north, [-90, 90]
+  double longitude_deg = 0.0;  ///< longitude, +east, (-180, 180]
+  double height_km = 0.0;      ///< height above the ellipsoid
+};
+
+/// Geodetic -> ECEF [km].
+[[nodiscard]] Vec3 geodetic_to_ecef(const Geodetic& g);
+
+/// ECEF [km] -> geodetic. Iterative (Bowring-style); converges to < 1e-9 rad
+/// in a handful of iterations for any LEO/GSO altitude.
+[[nodiscard]] Geodetic ecef_to_geodetic(const Vec3& ecef_km);
+
+}  // namespace starlab::geo

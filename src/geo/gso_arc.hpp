@@ -1,0 +1,55 @@
+#pragma once
+
+// Geometry of the geostationary (GSO) arc as seen from a ground location.
+//
+// 47 CFR § 25.289 obliges NGSO systems to protect GSO networks: a LEO
+// satellite must not transmit to/from a terminal while it sits (as seen from
+// that terminal) within a protection angle of the GSO arc. The paper (§5.1)
+// identifies this rule as the reason Starlink's global scheduler points
+// northern-hemisphere terminals high and north. GsoArc evaluates that
+// predicate exactly: it samples the visible GSO arc and measures the angular
+// separation of a candidate sky position from it.
+
+#include <vector>
+
+#include "geo/geodetic.hpp"
+#include "geo/topocentric.hpp"
+
+namespace starlab::geo {
+
+class GsoArc {
+ public:
+  /// Precompute the GSO arc in the sky of `site`. The arc is sampled at
+  /// `step_deg` of GSO longitude across all longitudes where the arc is above
+  /// `min_elevation_deg`.
+  explicit GsoArc(const Geodetic& site, double step_deg = 0.5,
+                  double min_elevation_deg = -5.0);
+
+  /// Smallest angular separation [deg] between the sky position (az, el) and
+  /// the visible GSO arc. Returns +inf-like large value (1e9) if no part of
+  /// the arc is visible from the site (|latitude| > ~81 deg).
+  [[nodiscard]] double separation_deg(double azimuth_deg,
+                                      double elevation_deg) const;
+
+  /// True if the sky position violates the GSO exclusion zone of
+  /// `protection_deg` half-width.
+  [[nodiscard]] bool excluded(double azimuth_deg, double elevation_deg,
+                              double protection_deg) const {
+    return separation_deg(azimuth_deg, elevation_deg) < protection_deg;
+  }
+
+  /// The sampled arc (for plotting and tests). Ordered by GSO longitude.
+  [[nodiscard]] const std::vector<LookAngles>& samples() const {
+    return samples_;
+  }
+
+  /// Highest elevation the arc reaches in this sky (the arc's culmination,
+  /// due south in the northern hemisphere).
+  [[nodiscard]] double max_elevation_deg() const { return max_elevation_deg_; }
+
+ private:
+  std::vector<LookAngles> samples_;
+  double max_elevation_deg_ = -90.0;
+};
+
+}  // namespace starlab::geo

@@ -1,0 +1,74 @@
+#include "geo/topocentric.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace starlab::geo {
+
+namespace {
+
+/// Rotate an ECEF difference vector into the observer's SEZ (south-east-
+/// zenith) frame.
+Vec3 ecef_to_sez(const Geodetic& obs, const Vec3& d) {
+  const double lat = deg_to_rad(obs.latitude_deg);
+  const double lon = deg_to_rad(obs.longitude_deg);
+  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+
+  return {sin_lat * cos_lon * d.x + sin_lat * sin_lon * d.y - cos_lat * d.z,
+          -sin_lon * d.x + cos_lon * d.y,
+          cos_lat * cos_lon * d.x + cos_lat * sin_lon * d.y + sin_lat * d.z};
+}
+
+/// Rotate an SEZ vector back into ECEF axes.
+Vec3 sez_to_ecef(const Geodetic& obs, const Vec3& s) {
+  const double lat = deg_to_rad(obs.latitude_deg);
+  const double lon = deg_to_rad(obs.longitude_deg);
+  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+
+  return {sin_lat * cos_lon * s.x - sin_lon * s.y + cos_lat * cos_lon * s.z,
+          sin_lat * sin_lon * s.x + cos_lon * s.y + cos_lat * sin_lon * s.z,
+          -cos_lat * s.x + sin_lat * s.z};
+}
+
+}  // namespace
+
+LookAngles look_angles(const Geodetic& observer, const Vec3& target_ecef_km) {
+  const Vec3 obs_ecef = geodetic_to_ecef(observer);
+  const Vec3 sez = ecef_to_sez(observer, target_ecef_km - obs_ecef);
+
+  LookAngles out;
+  out.range_km = sez.norm();
+  if (out.range_km <= 0.0) return out;
+
+  out.elevation_deg = rad_to_deg(std::asin(sez.z / out.range_km));
+  // Azimuth measured clockwise from north: north == -S axis, east == +E axis.
+  out.azimuth_deg = wrap_360(rad_to_deg(std::atan2(sez.y, -sez.x)));
+  return out;
+}
+
+Vec3 direction_from_look(const Geodetic& observer, double azimuth_deg,
+                         double elevation_deg) {
+  const double az = deg_to_rad(azimuth_deg);
+  const double el = deg_to_rad(elevation_deg);
+  // SEZ components of a unit vector at (az, el).
+  const Vec3 sez{-std::cos(el) * std::cos(az), std::cos(el) * std::sin(az),
+                 std::sin(el)};
+  return sez_to_ecef(observer, sez);
+}
+
+double sky_separation_deg(double az1_deg, double el1_deg, double az2_deg,
+                          double el2_deg) {
+  const double az1 = deg_to_rad(az1_deg), el1 = deg_to_rad(el1_deg);
+  const double az2 = deg_to_rad(az2_deg), el2 = deg_to_rad(el2_deg);
+  // Spherical law of cosines on the observer's sky sphere.
+  double c = std::sin(el1) * std::sin(el2) +
+             std::cos(el1) * std::cos(el2) * std::cos(az1 - az2);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return rad_to_deg(std::acos(c));
+}
+
+}  // namespace starlab::geo

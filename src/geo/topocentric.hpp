@@ -1,0 +1,33 @@
+#pragma once
+
+// Topocentric look angles: where a satellite appears in an observer's sky.
+// This is the geometry that obstruction maps, the field-of-view query and
+// the scheduler-preference analyses (§5) are all expressed in.
+
+#include "geo/geodetic.hpp"
+#include "geo/vec3.hpp"
+
+namespace starlab::geo {
+
+/// A direction + distance in an observer's local sky.
+struct LookAngles {
+  double azimuth_deg = 0.0;    ///< clockwise from true north, [0, 360)
+  double elevation_deg = 0.0;  ///< above the local horizon, [-90, 90]
+  double range_km = 0.0;       ///< slant range observer -> target
+};
+
+/// Look angles from `observer` (geodetic) to `target_ecef` [km].
+[[nodiscard]] LookAngles look_angles(const Geodetic& observer,
+                                     const Vec3& target_ecef_km);
+
+/// Inverse-ish helper: the ECEF unit direction corresponding to (az, el) in
+/// the observer's sky. Used to project obstruction-map pixels back into 3-d.
+[[nodiscard]] Vec3 direction_from_look(const Geodetic& observer,
+                                       double azimuth_deg, double elevation_deg);
+
+/// Angular separation [deg] between two sky directions (az/el pairs), treated
+/// as points on the observer's celestial sphere.
+[[nodiscard]] double sky_separation_deg(double az1_deg, double el1_deg,
+                                        double az2_deg, double el2_deg);
+
+}  // namespace starlab::geo

@@ -1,0 +1,47 @@
+#pragma once
+
+// Earth model constants.
+//
+// SGP4 is defined against WGS-72 (its coefficients were fitted to it; mixing
+// models degrades accuracy), so the propagator uses Wgs72. Geodetic
+// conversions for terminals use WGS-84, matching GPS-derived dish locations.
+
+namespace starlab::geo {
+
+struct EarthModel {
+  double mu_km3_s2;        ///< gravitational parameter [km^3/s^2]
+  double radius_km;        ///< equatorial radius [km]
+  double j2;               ///< second zonal harmonic
+  double j3;               ///< third zonal harmonic
+  double j4;               ///< fourth zonal harmonic
+  double flattening;       ///< ellipsoid flattening
+};
+
+inline constexpr EarthModel kWgs72{
+    398600.8,      // mu
+    6378.135,      // radius
+    0.001082616,   // j2
+    -0.00000253881,  // j3
+    -0.00000165597,  // j4
+    1.0 / 298.26,
+};
+
+inline constexpr EarthModel kWgs84{
+    398600.5,      // mu
+    6378.137,      // radius
+    0.00108262998905,
+    -0.00000253215306,
+    -0.00000161098761,
+    1.0 / 298.257223563,
+};
+
+/// Earth's rotation rate [rad/s] (IAU 1982, consistent with GMST).
+inline constexpr double kEarthRotationRadPerSec = 7.292115146706979e-5;
+
+/// Geostationary orbit radius [km] (circular, period == sidereal day).
+inline constexpr double kGsoRadiusKm = 42164.0;
+
+/// Speed of light [km/s]; used by the latency model.
+inline constexpr double kSpeedOfLightKmPerSec = 299792.458;
+
+}  // namespace starlab::geo

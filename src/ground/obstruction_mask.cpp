@@ -1,0 +1,53 @@
+#include "ground/obstruction_mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace starlab::ground {
+
+namespace {
+constexpr double kSectorWidth = 360.0 / ObstructionMask::kSectors;
+
+std::size_t sector_of(double azimuth_deg) {
+  const double az = geo::wrap_360(azimuth_deg);
+  auto s = static_cast<std::size_t>(az / kSectorWidth);
+  if (s >= ObstructionMask::kSectors) s = ObstructionMask::kSectors - 1;
+  return s;
+}
+}  // namespace
+
+void ObstructionMask::add_obstruction(double from_deg, double to_deg,
+                                      double min_elevation_deg) {
+  double from = geo::wrap_360(from_deg);
+  double to = geo::wrap_360(to_deg);
+  double span = to - from;
+  if (span <= 0.0) span += 360.0;
+
+  for (double az = from; az < from + span; az += kSectorWidth) {
+    auto& h = horizon_[sector_of(az)];
+    h = std::max(h, min_elevation_deg);
+  }
+}
+
+double ObstructionMask::horizon_at(double azimuth_deg) const {
+  return horizon_[sector_of(azimuth_deg)];
+}
+
+double ObstructionMask::obstructed_fraction(double floor_deg) const {
+  // Solid angle of a band above elevation e (up to 90 deg) per unit azimuth
+  // is proportional to (1 - sin e); integrate per sector.
+  const double sin_floor = std::sin(geo::deg_to_rad(floor_deg));
+  double blocked = 0.0;
+  double total = 0.0;
+  for (const double h : horizon_) {
+    const double clamped = std::clamp(h, floor_deg, 90.0);
+    const double sin_h = std::sin(geo::deg_to_rad(clamped));
+    blocked += sin_h - sin_floor;
+    total += 1.0 - sin_floor;
+  }
+  return total > 0.0 ? blocked / total : 0.0;
+}
+
+}  // namespace starlab::ground

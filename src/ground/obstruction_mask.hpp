@@ -1,0 +1,43 @@
+#pragma once
+
+// Physical sky obstructions around a terminal (trees, buildings, terrain).
+//
+// The paper's Ithaca, NY terminal sat under severe tree cover to its
+// north-west, which visibly bent the scheduler's choices (§5.1: only 9.7 %
+// of its picks came from the NW vs 55.4 % at the unobstructed sites). The
+// mask is an azimuth-sectored horizon profile: for each sector, the minimum
+// elevation a satellite must clear to be usable.
+
+#include <array>
+#include <cstddef>
+
+namespace starlab::ground {
+
+class ObstructionMask {
+ public:
+  static constexpr std::size_t kSectors = 72;  ///< 5-degree azimuth sectors
+
+  /// A clear sky: horizon at 0 deg everywhere.
+  ObstructionMask() { horizon_.fill(0.0); }
+
+  /// Raise the horizon to `min_elevation_deg` over the azimuth range
+  /// [from_deg, to_deg) (wrapping through north allowed, e.g. 300 -> 30).
+  void add_obstruction(double from_deg, double to_deg, double min_elevation_deg);
+
+  /// True if a satellite at (az, el) is hidden behind an obstruction.
+  [[nodiscard]] bool blocked(double azimuth_deg, double elevation_deg) const {
+    return elevation_deg < horizon_at(azimuth_deg);
+  }
+
+  /// Horizon elevation at an azimuth.
+  [[nodiscard]] double horizon_at(double azimuth_deg) const;
+
+  /// Fraction of the sky dome (solid-angle weighted, above `floor_deg`)
+  /// that is obstructed. Used to sanity-check site quality in tests.
+  [[nodiscard]] double obstructed_fraction(double floor_deg = 25.0) const;
+
+ private:
+  std::array<double, kSectors> horizon_{};
+};
+
+}  // namespace starlab::ground

@@ -1,0 +1,48 @@
+#include "ground/terminal.hpp"
+
+namespace starlab::ground {
+
+Terminal::Terminal(TerminalConfig config)
+    : config_(std::move(config)),
+      gso_arc_(std::make_unique<geo::GsoArc>(config_.site)) {}
+
+std::vector<Candidate> Terminal::candidates(
+    const constellation::Catalog& catalog, const time::JulianDate& jd) const {
+  std::vector<Candidate> out;
+  for (constellation::SkyEntry& e :
+       catalog.visible_from(config_.site, jd, config_.min_elevation_deg)) {
+    Candidate c;
+    c.obstructed = config_.mask.blocked(e.look.azimuth_deg, e.look.elevation_deg);
+    c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
+                                        config_.gso_protection_deg);
+    c.sky = std::move(e);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Candidate> Terminal::candidates_from_snapshots(
+    const constellation::Catalog& catalog,
+    std::span<const constellation::Catalog::Snapshot> snapshots,
+    const time::JulianDate& jd) const {
+  std::vector<Candidate> out;
+  for (constellation::SkyEntry& e : catalog.visible_from_snapshots(
+           snapshots, config_.site, jd, config_.min_elevation_deg)) {
+    Candidate c;
+    c.obstructed = config_.mask.blocked(e.look.azimuth_deg, e.look.elevation_deg);
+    c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
+                                        config_.gso_protection_deg);
+    c.sky = std::move(e);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Candidate> Terminal::usable_candidates(
+    const constellation::Catalog& catalog, const time::JulianDate& jd) const {
+  std::vector<Candidate> all = candidates(catalog, jd);
+  std::erase_if(all, [](const Candidate& c) { return !c.usable(); });
+  return all;
+}
+
+}  // namespace starlab::ground

@@ -1,0 +1,119 @@
+#include "io/campaign_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+
+namespace starlab::io {
+
+namespace {
+
+std::string fmt(double v, const char* spec = "%.6f") {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+double to_double(const std::string& s) { return std::stod(s); }
+int to_int(const std::string& s) { return std::stoi(s); }
+
+}  // namespace
+
+void save_campaign(std::ostream& out, const core::CampaignData& data) {
+  write_csv_row(out, {"slot", "terminal_index", "terminal", "unix_mid",
+                      "local_hour", "norad_id", "azimuth_deg", "elevation_deg",
+                      "age_days", "sunlit", "chosen"});
+  for (const core::SlotObs& s : data.slots) {
+    const std::string terminal =
+        s.terminal_index < data.terminal_names.size()
+            ? data.terminal_names[s.terminal_index]
+            : "";
+    for (std::size_t i = 0; i < s.available.size(); ++i) {
+      const core::CandidateObs& c = s.available[i];
+      write_csv_row(
+          out, {std::to_string(s.slot), std::to_string(s.terminal_index),
+                terminal, fmt(s.unix_mid, "%.3f"), fmt(s.local_hour, "%.5f"),
+                std::to_string(c.norad_id), fmt(c.azimuth_deg, "%.4f"),
+                fmt(c.elevation_deg, "%.4f"), fmt(c.age_days, "%.3f"),
+                c.sunlit ? "1" : "0",
+                static_cast<int>(i) == s.chosen ? "1" : "0"});
+    }
+    // Slots with no candidates still need a row to survive the round trip.
+    if (s.available.empty()) {
+      write_csv_row(out,
+                    {std::to_string(s.slot), std::to_string(s.terminal_index),
+                     terminal, fmt(s.unix_mid, "%.3f"),
+                     fmt(s.local_hour, "%.5f"), "", "", "", "", "", ""});
+    }
+  }
+}
+
+core::CampaignData load_campaign(std::istream& in) {
+  const std::vector<CsvRow> rows = read_csv(in);
+  if (rows.empty()) throw std::runtime_error("empty campaign CSV");
+  if (rows.front().size() != 11 || rows.front()[0] != "slot") {
+    throw std::runtime_error("campaign CSV header mismatch");
+  }
+
+  core::CampaignData data;
+  core::SlotObs* current = nullptr;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() != 11) {
+      throw std::runtime_error("campaign CSV row width mismatch at line " +
+                               std::to_string(r + 1));
+    }
+    const auto slot = static_cast<time::SlotIndex>(std::stoll(row[0]));
+    const auto terminal_index = static_cast<std::size_t>(to_int(row[1]));
+
+    if (terminal_index >= data.terminal_names.size()) {
+      data.terminal_names.resize(terminal_index + 1);
+    }
+    if (data.terminal_names[terminal_index].empty()) {
+      data.terminal_names[terminal_index] = row[2];
+    }
+
+    const bool new_slot = current == nullptr || current->slot != slot ||
+                          current->terminal_index != terminal_index;
+    if (new_slot) {
+      core::SlotObs obs;
+      obs.slot = slot;
+      obs.terminal_index = terminal_index;
+      obs.unix_mid = to_double(row[3]);
+      obs.local_hour = to_double(row[4]);
+      data.slots.push_back(std::move(obs));
+      current = &data.slots.back();
+    }
+
+    if (row[5].empty()) continue;  // candidate-less slot marker
+    core::CandidateObs c;
+    c.norad_id = to_int(row[5]);
+    c.azimuth_deg = to_double(row[6]);
+    c.elevation_deg = to_double(row[7]);
+    c.age_days = to_double(row[8]);
+    c.sunlit = row[9] == "1";
+    if (row[10] == "1") {
+      current->chosen = static_cast<int>(current->available.size());
+    }
+    current->available.push_back(c);
+  }
+  return data;
+}
+
+void save_campaign_file(const std::string& path,
+                        const core::CampaignData& data) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write campaign CSV: " + path);
+  save_campaign(out, data);
+  if (!out) throw std::runtime_error("IO error writing campaign CSV: " + path);
+}
+
+core::CampaignData load_campaign_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open campaign CSV: " + path);
+  return load_campaign(in);
+}
+
+}  // namespace starlab::io

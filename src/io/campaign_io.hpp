@@ -1,0 +1,28 @@
+#pragma once
+
+// Campaign-data release format: one CSV row per (slot, candidate), with the
+// chosen candidate flagged — the shape of the dataset the paper published
+// alongside its model. Round-trips losslessly to the precision written.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace starlab::io {
+
+/// Column layout written by save_campaign (header row included):
+///   slot, terminal_index, terminal, unix_mid, local_hour,
+///   norad_id, azimuth_deg, elevation_deg, age_days, sunlit, chosen
+void save_campaign(std::ostream& out, const core::CampaignData& data);
+
+/// Load a campaign written by save_campaign. Throws std::runtime_error on a
+/// malformed file.
+[[nodiscard]] core::CampaignData load_campaign(std::istream& in);
+
+/// File conveniences.
+void save_campaign_file(const std::string& path,
+                        const core::CampaignData& data);
+[[nodiscard]] core::CampaignData load_campaign_file(const std::string& path);
+
+}  // namespace starlab::io

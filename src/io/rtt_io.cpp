@@ -1,0 +1,70 @@
+#include "io/rtt_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+
+namespace starlab::io {
+
+void save_rtt_series(std::ostream& out, const measurement::RttSeries& series) {
+  // Metadata travels in the first two columns of a marker row so the file
+  // stays a plain CSV.
+  write_csv_row(out, {"#terminal", series.terminal,
+                      std::to_string(series.interval_ms)});
+  write_csv_row(out, {"unix_sec", "rtt_ms", "lost", "slot"});
+  char buf[40];
+  for (const measurement::RttSample& s : series.samples) {
+    std::snprintf(buf, sizeof(buf), "%.6f", s.unix_sec);
+    std::string rtt;
+    if (!s.lost) {
+      char rbuf[40];
+      std::snprintf(rbuf, sizeof(rbuf), "%.6f", s.rtt_ms);
+      rtt = rbuf;
+    }
+    write_csv_row(out, {buf, rtt, s.lost ? "1" : "0", std::to_string(s.slot)});
+  }
+}
+
+measurement::RttSeries load_rtt_series(std::istream& in) {
+  const std::vector<CsvRow> rows = read_csv(in);
+  if (rows.size() < 2 || rows[0].empty() || rows[0][0] != "#terminal") {
+    throw std::runtime_error("RTT CSV missing metadata row");
+  }
+
+  measurement::RttSeries series;
+  series.terminal = rows[0].size() > 1 ? rows[0][1] : "";
+  series.interval_ms = rows[0].size() > 2 ? std::stod(rows[0][2]) : 20.0;
+
+  for (std::size_t r = 2; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() != 4) {
+      throw std::runtime_error("RTT CSV row width mismatch at line " +
+                               std::to_string(r + 1));
+    }
+    measurement::RttSample s;
+    s.unix_sec = std::stod(row[0]);
+    s.lost = row[2] == "1";
+    if (!s.lost) s.rtt_ms = std::stod(row[1]);
+    s.slot = static_cast<time::SlotIndex>(std::stoll(row[3]));
+    series.samples.push_back(s);
+  }
+  return series;
+}
+
+void save_rtt_series_file(const std::string& path,
+                          const measurement::RttSeries& series) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write RTT CSV: " + path);
+  save_rtt_series(out, series);
+  if (!out) throw std::runtime_error("IO error writing RTT CSV: " + path);
+}
+
+measurement::RttSeries load_rtt_series_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open RTT CSV: " + path);
+  return load_rtt_series(in);
+}
+
+}  // namespace starlab::io

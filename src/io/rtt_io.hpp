@@ -1,0 +1,27 @@
+#pragma once
+
+// RTT trace export/import: one CSV row per probe, as an iRTT-style logger
+// would record. Lets RTT analysis (change points, Mann-Whitney, epoch
+// recovery) run on traces captured elsewhere — including real dish traces
+// with the same columns.
+
+#include <iosfwd>
+#include <string>
+
+#include "measurement/rtt_prober.hpp"
+
+namespace starlab::io {
+
+/// Columns: unix_sec, rtt_ms (empty when lost), lost, slot.
+void save_rtt_series(std::ostream& out, const measurement::RttSeries& series);
+
+/// Load a trace written by save_rtt_series (terminal name and interval are
+/// restored from the header comment row).
+[[nodiscard]] measurement::RttSeries load_rtt_series(std::istream& in);
+
+void save_rtt_series_file(const std::string& path,
+                          const measurement::RttSeries& series);
+[[nodiscard]] measurement::RttSeries load_rtt_series_file(
+    const std::string& path);
+
+}  // namespace starlab::io

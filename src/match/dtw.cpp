@@ -1,0 +1,65 @@
+#include "match/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace starlab::match {
+
+namespace {
+constexpr double kInf = 1e300;
+}
+
+double local_cost(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double dtw_distance(std::span<const Point2> a, std::span<const Point2> b,
+                    int band) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+
+  // Rolling two-row dynamic program over the (n+1) x (m+1) grid.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  const double slope = static_cast<double>(m) / static_cast<double>(n);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+
+    std::size_t j_lo = 1, j_hi = m;
+    if (band >= 0) {
+      // Sakoe-Chiba window around the slope-normalized diagonal.
+      const double center = static_cast<double>(i) * slope;
+      j_lo = static_cast<std::size_t>(
+          std::max(1.0, std::ceil(center - band)));
+      j_hi = static_cast<std::size_t>(
+          std::min(static_cast<double>(m), std::floor(center + band)));
+      if (j_lo > j_hi) return kInf;  // infeasible band
+    }
+
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = local_cost(a[i - 1], b[j - 1]);
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (best >= kInf) continue;
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double dtw_distance_normalized(std::span<const Point2> a,
+                               std::span<const Point2> b, int band) {
+  const double d = dtw_distance(a, b, band);
+  if (d >= kInf) return d;
+  return d / static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace starlab::match

@@ -1,0 +1,38 @@
+#pragma once
+
+// Dynamic Time Warping between planar point sequences.
+//
+// The paper matches an isolated obstruction-map trajectory against the
+// TLE-propagated paths of every candidate satellite by DTW distance, after
+// converting both from polar (AOE/azimuth) to Cartesian coordinates. The
+// full O(n*m) dynamic program is implemented along with the Sakoe-Chiba
+// banded variant for the performance-sensitive sweeps.
+
+#include <span>
+#include <vector>
+
+namespace starlab::match {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Squared-Euclidean local cost (monotone in Euclidean; cheaper, same argmin).
+[[nodiscard]] double local_cost(const Point2& a, const Point2& b);
+
+/// DTW distance with the standard step pattern (match/insert/delete).
+/// `band` restricts |i - j| to a Sakoe-Chiba window of that half-width
+/// (after slope normalization for unequal lengths); band < 0 means
+/// unconstrained. Returns +inf-like 1e300 for empty inputs or an infeasible
+/// band.
+[[nodiscard]] double dtw_distance(std::span<const Point2> a,
+                                  std::span<const Point2> b, int band = -1);
+
+/// DTW distance normalized by the warping-path length (so trajectories of
+/// different sample counts compare fairly).
+[[nodiscard]] double dtw_distance_normalized(std::span<const Point2> a,
+                                             std::span<const Point2> b,
+                                             int band = -1);
+
+}  // namespace starlab::match

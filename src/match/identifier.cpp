@@ -1,0 +1,89 @@
+#include "match/identifier.hpp"
+
+#include <algorithm>
+
+#include "obsmap/components.hpp"
+
+namespace starlab::match {
+
+std::vector<Point2> SatelliteIdentifier::candidate_path(
+    std::size_t catalog_index, const ground::Terminal& terminal,
+    time::SlotIndex slot) const {
+  std::vector<Point2> path;
+  const double t_begin = grid_.slot_start(slot);
+  const double t_end = grid_.slot_end(slot);
+  for (double t = t_begin; t < t_end; t += config_.sample_interval_sec) {
+    const time::JulianDate jd = time::JulianDate::from_unix_seconds(t);
+    const geo::LookAngles look =
+        catalog_.look_at(catalog_index, terminal.site(), jd);
+    if (look.elevation_deg < geometry_.min_elevation_deg) continue;
+    path.push_back(
+        sky_to_plane({look.azimuth_deg, look.elevation_deg}, geometry_));
+  }
+  return path;
+}
+
+Identification SatelliteIdentifier::identify_isolated(
+    const ground::Terminal& terminal, time::SlotIndex slot,
+    const obsmap::ObstructionMap& isolated) const {
+  Identification out;
+
+  const std::vector<Point2> traj =
+      config_.use_largest_component
+          ? extract_trajectory(obsmap::largest_component(isolated), geometry_)
+          : extract_trajectory(isolated, geometry_);
+  out.trajectory_pixels = traj.size();
+  if (traj.size() < config_.min_trajectory_pixels) return out;
+
+  // The map does not encode direction of motion: score both traversals.
+  std::vector<Point2> reversed(traj.rbegin(), traj.rend());
+
+  const time::JulianDate jd_mid =
+      time::JulianDate::from_unix_seconds(grid_.slot_mid(slot));
+  const std::vector<constellation::SkyEntry> candidates =
+      catalog_.visible_from(terminal.site(), jd_mid, config_.min_elevation_deg);
+  out.num_candidates = static_cast<int>(candidates.size());
+
+  for (const constellation::SkyEntry& c : candidates) {
+    const std::vector<Point2> path =
+        candidate_path(c.catalog_index, terminal, slot);
+    if (path.empty()) continue;
+
+    const double d_fwd = dtw_distance_normalized(traj, path, config_.dtw_band);
+    const double d_rev =
+        dtw_distance_normalized(reversed, path, config_.dtw_band);
+
+    MatchScore s;
+    s.catalog_index = c.catalog_index;
+    s.norad_id = c.norad_id;
+    s.dtw = std::min(d_fwd, d_rev);
+    out.ranked.push_back(s);
+  }
+
+  std::sort(out.ranked.begin(), out.ranked.end(),
+            [](const MatchScore& a, const MatchScore& b) {
+              return a.dtw < b.dtw;
+            });
+  if (!out.ranked.empty() && out.ranked.front().dtw < 1e300) {
+    out.best = out.ranked.front();
+  }
+  return out;
+}
+
+Identification SatelliteIdentifier::identify(
+    const ground::Terminal& terminal, time::SlotIndex slot,
+    const obsmap::ObstructionMap& prev_frame,
+    const obsmap::ObstructionMap& curr_frame) const {
+  // A dish accumulates monotonically between reboots: if the previous frame
+  // is NOT a subset of the current one, the dish was reset in between and
+  // the current frame holds only the newest trajectory — use it directly
+  // instead of an XOR that would resurrect the whole old sky.
+  if (!prev_frame.subset_of(curr_frame)) {
+    Identification id = identify_isolated(terminal, slot, curr_frame);
+    id.reset_detected = true;
+    return id;
+  }
+  return identify_isolated(terminal, slot, curr_frame.exclusive_or(prev_frame));
+}
+
+}  // namespace starlab::match

@@ -1,0 +1,87 @@
+#pragma once
+
+// §4's headline method: identify the serving satellite from an isolated
+// obstruction-map trajectory.
+//
+// For one 15-second slot: take the XOR-isolated trajectory, chain it into a
+// sequence, and compare against the painted sky path of every candidate
+// satellite in the terminal's field of view (propagated from TLEs). The
+// candidate with the lowest DTW distance is declared the serving satellite.
+// Both traversal directions of the isolated path are tried because the map
+// does not encode motion direction.
+
+#include <optional>
+#include <vector>
+
+#include "constellation/catalog.hpp"
+#include "ground/terminal.hpp"
+#include "match/dtw.hpp"
+#include "match/trajectory.hpp"
+#include "obsmap/obstruction_map.hpp"
+#include "time/slot_grid.hpp"
+
+namespace starlab::match {
+
+/// One candidate's match score.
+struct MatchScore {
+  std::size_t catalog_index = 0;
+  int norad_id = 0;
+  double dtw = 1e300;  ///< normalized DTW distance (lower is better)
+};
+
+/// Identification outcome for one slot.
+struct Identification {
+  std::optional<MatchScore> best;     ///< empty if no candidate/trajectory
+  std::vector<MatchScore> ranked;     ///< all candidates, ascending DTW
+  std::size_t trajectory_pixels = 0;  ///< size of the isolated trajectory
+  int num_candidates = 0;
+  /// True when the frame pair betrayed an unnoticed dish reboot (the new
+  /// frame lost pixels the old one had); identification then ran on the
+  /// fresh frame directly instead of the XOR.
+  bool reset_detected = false;
+};
+
+struct IdentifierConfig {
+  double min_elevation_deg = 25.0;   ///< candidate field-of-view floor
+  double sample_interval_sec = 1.0;  ///< candidate-path sampling
+  int dtw_band = 16;                 ///< Sakoe-Chiba half-width (pixels ~ samples)
+  std::size_t min_trajectory_pixels = 4;  ///< below this, give up
+  /// Match only the largest connected component of the isolated frame —
+  /// stray un-cancelled pixels from partial overlaps would otherwise drag
+  /// the chained trajectory across the sky.
+  bool use_largest_component = true;
+};
+
+class SatelliteIdentifier {
+ public:
+  SatelliteIdentifier(const constellation::Catalog& catalog,
+                      obsmap::MapGeometry geometry, time::SlotGrid grid,
+                      IdentifierConfig config = {})
+      : catalog_(catalog), geometry_(geometry), grid_(grid), config_(config) {}
+
+  /// Identify the satellite serving `terminal` during `slot`, from the
+  /// obstruction-map frames fetched at the end of slot-1 and slot.
+  [[nodiscard]] Identification identify(const ground::Terminal& terminal,
+                                        time::SlotIndex slot,
+                                        const obsmap::ObstructionMap& prev_frame,
+                                        const obsmap::ObstructionMap& curr_frame) const;
+
+  /// Identify from an already-isolated trajectory frame.
+  [[nodiscard]] Identification identify_isolated(
+      const ground::Terminal& terminal, time::SlotIndex slot,
+      const obsmap::ObstructionMap& isolated) const;
+
+  /// The painted sky path a candidate would leave during a slot, in plane
+  /// coordinates (exposed for validation plots and tests).
+  [[nodiscard]] std::vector<Point2> candidate_path(
+      std::size_t catalog_index, const ground::Terminal& terminal,
+      time::SlotIndex slot) const;
+
+ private:
+  const constellation::Catalog& catalog_;
+  obsmap::MapGeometry geometry_;
+  time::SlotGrid grid_;
+  IdentifierConfig config_;
+};
+
+}  // namespace starlab::match

@@ -1,0 +1,62 @@
+#pragma once
+
+// Measurement-side inference of the global scheduler's clock (§3).
+//
+// Given only an RTT series, this module (1) detects the abrupt latency
+// changes, and (2) recovers the re-allocation *period* and *phase* — the
+// paper's headline "every 15 seconds, at :12/:27/:42/:57" finding — without
+// ever consulting the oracle. Detection works on a robust per-window
+// summary (median of received RTTs in short buckets) so the MAC bands and
+// jitter do not drown the step edges.
+
+#include <vector>
+
+#include "measurement/rtt_prober.hpp"
+
+namespace starlab::measurement {
+
+/// One detected abrupt latency change.
+struct ChangePoint {
+  double unix_sec = 0.0;    ///< bucket boundary where the shift occurs
+  double magnitude_ms = 0.0;  ///< |median after - median before|
+};
+
+struct ChangePointConfig {
+  double bucket_sec = 0.5;     ///< robust-summary bucket width
+  int window_buckets = 4;      ///< buckets on each side of a candidate edge
+  double threshold_ms = 1.2;   ///< minimum summary shift to call a change
+  double min_separation_sec = 3.0;  ///< merge changes closer than this
+  /// Per-bucket summary quantile. A *low* quantile tracks the floor of the
+  /// MAC band structure (propagation + the terminal's own grant band),
+  /// which only moves when the serving satellite changes; the median would
+  /// stochastically flip between bands within a slot and fake mid-slot
+  /// changes.
+  double summary_quantile = 0.2;
+};
+
+/// Detect abrupt latency shifts in a series.
+[[nodiscard]] std::vector<ChangePoint> detect_change_points(
+    const RttSeries& series, const ChangePointConfig& config = {});
+
+/// Result of fitting a periodic grid to detected change points.
+struct EpochEstimate {
+  double period_sec = 0.0;   ///< best-fitting re-allocation period
+  double offset_sec = 0.0;   ///< phase within the minute, in [0, period)
+  double support = 0.0;      ///< fraction of change points within tolerance
+};
+
+struct EpochSearchConfig {
+  double min_period_sec = 5.0;
+  double max_period_sec = 40.0;
+  double period_step_sec = 0.5;
+  double tolerance_sec = 1.0;  ///< a change point "fits" if within this of grid
+};
+
+/// Recover the scheduling period and phase from detected change points by
+/// maximizing grid support. With the paper's parameters this returns
+/// period == 15 s, offset == 12 s.
+[[nodiscard]] EpochEstimate estimate_epoch(
+    const std::vector<ChangePoint>& change_points,
+    const EpochSearchConfig& config = {});
+
+}  // namespace starlab::measurement

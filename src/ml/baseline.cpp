@@ -1,0 +1,19 @@
+#include "ml/baseline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace starlab::ml {
+
+std::vector<int> PopularityBaseline::ranked_classes(
+    std::span<const double> features) const {
+  std::vector<int> order(static_cast<std::size_t>(num_classes_));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return features[count_offset_ + static_cast<std::size_t>(a)] >
+           features[count_offset_ + static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace starlab::ml

@@ -1,0 +1,252 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace starlab::ml {
+
+namespace {
+
+double gini_from_counts(const std::vector<std::size_t>& counts,
+                        std::size_t n) {
+  if (n == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> indices,
+                       std::mt19937_64& rng) {
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  impurity_decrease_.assign(data.num_features(), 0.0);
+
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  if (work.empty()) {
+    // Degenerate: a single uniform leaf.
+    Node leaf;
+    leaf.proba.assign(static_cast<std::size_t>(std::max(num_classes_, 1)),
+                      1.0 / std::max(num_classes_, 1));
+    nodes_.push_back(std::move(leaf));
+    return;
+  }
+  build(data, work, 0, work.size(), 0, rng);
+}
+
+void DecisionTree::fit(const Dataset& data, std::mt19937_64& rng) {
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  fit(data, idx, rng);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                        std::size_t begin, std::size_t end, int depth,
+                        std::mt19937_64& rng) {
+  const std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<std::size_t>(data.label(indices[i]))];
+  }
+  const double node_gini = gini_from_counts(counts, n);
+
+  const bool pure = node_gini <= 0.0;
+  const bool too_small = n < static_cast<std::size_t>(config_.min_samples_split);
+  const bool too_deep = depth >= config_.max_depth;
+
+  auto make_leaf = [&]() -> int {
+    Node leaf;
+    leaf.proba.resize(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      leaf.proba[c] = static_cast<double>(counts[c]) / static_cast<double>(n);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (pure || too_small || too_deep) return make_leaf();
+
+  // Candidate feature subset.
+  std::vector<std::size_t> features(data.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t num_try = features.size();
+  if (config_.mtry > 0 &&
+      static_cast<std::size_t>(config_.mtry) < features.size()) {
+    num_try = static_cast<std::size_t>(config_.mtry);
+    // Partial Fisher-Yates: the first num_try entries become the sample.
+    for (std::size_t i = 0; i < num_try; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, features.size() - 1);
+      std::swap(features[i], features[pick(rng)]);
+    }
+  }
+
+  // Best-split search.
+  struct Best {
+    double gain = 0.0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+  } best;
+
+  std::vector<std::pair<double, int>> column(n);  // (value, label)
+  const auto min_leaf = static_cast<std::size_t>(config_.min_samples_leaf);
+
+  for (std::size_t fi = 0; fi < num_try; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {data.row(row)[f], data.label(row)};
+    }
+    std::sort(column.begin(), column.end());
+
+    std::vector<std::size_t> left_counts(counts.size(), 0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(column[i].second)];
+      // Split only between distinct values.
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+
+      std::vector<std::size_t> right_counts(counts.size());
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        right_counts[c] = counts[c] - left_counts[c];
+      }
+      const double gl = gini_from_counts(left_counts, nl);
+      const double gr = gini_from_counts(right_counts, nr);
+      const double weighted =
+          (static_cast<double>(nl) * gl + static_cast<double>(nr) * gr) /
+          static_cast<double>(n);
+      const double gain = node_gini - weighted;
+      if (gain > best.gain + 1e-15) {
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best.gain <= 0.0) return make_leaf();
+
+  impurity_decrease_[best.feature] += static_cast<double>(n) * best.gain;
+
+  // Partition indices in place around the threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return data.row(row)[best.feature] <= best.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // numeric edge case
+
+  // Reserve this node's slot before recursing so children land after it.
+  nodes_.emplace_back();
+  const auto node_id = static_cast<int>(nodes_.size() - 1);
+  const int left = build(data, indices, begin, mid, depth + 1, rng);
+  const int right = build(data, indices, mid, end, depth + 1, rng);
+
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = static_cast<int>(best.feature);
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  const Node* node = &nodes_.front();
+  while (node->feature >= 0) {
+    const double v = features[static_cast<std::size_t>(node->feature)];
+    node = &nodes_[static_cast<std::size_t>(v <= node->threshold ? node->left
+                                                                 : node->right)];
+  }
+  return node->proba;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  const std::vector<double> proba = predict_proba(features);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  struct Item {
+    int node;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, it.depth);
+    const Node& n = nodes_[static_cast<std::size_t>(it.node)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, it.depth + 1});
+      stack.push_back({n.right, it.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "tree " << num_classes_ << ' ' << nodes_.size() << ' '
+      << impurity_decrease_.size() << '\n';
+  out.precision(17);
+  for (const Node& n : nodes_) {
+    out << "node " << n.feature << ' ' << n.threshold << ' ' << n.left << ' '
+        << n.right;
+    out << ' ' << n.proba.size();
+    for (const double p : n.proba) out << ' ' << p;
+    out << '\n';
+  }
+  out << "imp";
+  for (const double d : impurity_decrease_) out << ' ' << d;
+  out << '\n';
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  DecisionTree tree;
+  std::string tag;
+  std::size_t num_nodes = 0, num_features = 0;
+  if (!(in >> tag) || tag != "tree" || !(in >> tree.num_classes_ >>
+                                         num_nodes >> num_features)) {
+    throw std::runtime_error("malformed tree header");
+  }
+  tree.nodes_.resize(num_nodes);
+  for (Node& n : tree.nodes_) {
+    std::size_t num_proba = 0;
+    if (!(in >> tag) || tag != "node" ||
+        !(in >> n.feature >> n.threshold >> n.left >> n.right >> num_proba)) {
+      throw std::runtime_error("malformed tree node");
+    }
+    n.proba.resize(num_proba);
+    for (double& p : n.proba) {
+      if (!(in >> p)) throw std::runtime_error("malformed node proba");
+    }
+  }
+  if (!(in >> tag) || tag != "imp") {
+    throw std::runtime_error("malformed tree importances");
+  }
+  tree.impurity_decrease_.resize(num_features);
+  for (double& d : tree.impurity_decrease_) {
+    if (!(in >> d)) throw std::runtime_error("malformed importance value");
+  }
+  return tree;
+}
+
+}  // namespace starlab::ml

@@ -1,0 +1,79 @@
+#pragma once
+
+// CART decision-tree classifier (gini impurity), the base learner of the
+// random forest. Supports per-split feature subsampling (mtry) and exposes
+// per-feature impurity-decrease totals for gini importances.
+
+#include <iosfwd>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace starlab::ml {
+
+struct TreeConfig {
+  int max_depth = 14;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Features considered per split; <= 0 means all (plain CART). A forest
+  /// sets this to ~sqrt(num_features).
+  int mtry = -1;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  /// Fit on the rows of `data` named by `indices` (with multiplicity — a
+  /// bootstrap sample repeats indices).
+  void fit(const Dataset& data, std::span<const std::size_t> indices,
+           std::mt19937_64& rng);
+
+  /// Convenience: fit on the full dataset.
+  void fit(const Dataset& data, std::mt19937_64& rng);
+
+  /// Class-probability vector for one feature row.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> features) const;
+
+  /// Argmax class.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Total gini impurity decrease contributed by each feature (unnormalized;
+  /// the forest aggregates and normalizes).
+  [[nodiscard]] const std::vector<double>& impurity_decrease() const {
+    return impurity_decrease_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int depth() const;
+
+  /// Serialize to a line-oriented text format (see model release docs).
+  void save(std::ostream& out) const;
+
+  /// Deserialize a tree written by save(). Throws std::runtime_error on a
+  /// malformed stream.
+  static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    int feature = -1;  ///< -1 for a leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;  ///< leaf class distribution
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::size_t begin, std::size_t end, int depth,
+            std::mt19937_64& rng);
+
+  TreeConfig config_;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> impurity_decrease_;
+};
+
+}  // namespace starlab::ml

@@ -1,0 +1,54 @@
+#include "ml/grid_search.hpp"
+
+#include "ml/metrics.hpp"
+
+namespace starlab::ml {
+
+double cross_validate(const Dataset& data, const ForestConfig& forest_config,
+                      int folds, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::vector<IndexSplit> splits = k_fold_splits(data.size(), folds, rng);
+
+  double acc_sum = 0.0;
+  for (const IndexSplit& split : splits) {
+    const Dataset train = data.subset(split.train);
+    RandomForest forest(forest_config);
+    forest.fit(train);
+
+    std::vector<int> predictions, labels;
+    predictions.reserve(split.test.size());
+    labels.reserve(split.test.size());
+    for (const std::size_t i : split.test) {
+      predictions.push_back(forest.predict(data.row(i)));
+      labels.push_back(data.label(i));
+    }
+    acc_sum += accuracy(predictions, labels);
+  }
+  return acc_sum / static_cast<double>(folds);
+}
+
+GridSearchResult grid_search(const Dataset& data, const GridSearchSpace& space,
+                             const GridSearchConfig& config) {
+  GridSearchResult out;
+  for (const int trees : space.num_trees) {
+    for (const int depth : space.max_depth) {
+      for (const int leaf : space.min_samples_leaf) {
+        ForestConfig fc;
+        fc.num_trees = trees;
+        fc.tree.max_depth = depth;
+        fc.tree.min_samples_leaf = leaf;
+        fc.seed = config.seed;
+
+        const double acc = cross_validate(data, fc, config.folds, config.seed);
+        out.all.emplace_back(fc, acc);
+        if (acc > out.best_cv_accuracy) {
+          out.best_cv_accuracy = acc;
+          out.best_config = fc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace starlab::ml

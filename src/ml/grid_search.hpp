@@ -1,0 +1,42 @@
+#pragma once
+
+// Hyper-parameter grid search with k-fold cross-validation, matching the
+// paper's training protocol ("we got the parameters of this model using
+// grid-search and five-fold cross-validation").
+
+#include <vector>
+
+#include "ml/random_forest.hpp"
+
+namespace starlab::ml {
+
+struct GridSearchSpace {
+  std::vector<int> num_trees = {50, 100};
+  std::vector<int> max_depth = {10, 14, 18};
+  std::vector<int> min_samples_leaf = {1, 2, 4};
+};
+
+struct GridSearchResult {
+  ForestConfig best_config;
+  double best_cv_accuracy = 0.0;
+  /// One row per evaluated configuration: (config, mean CV accuracy).
+  std::vector<std::pair<ForestConfig, double>> all;
+};
+
+struct GridSearchConfig {
+  int folds = 5;
+  std::uint64_t seed = 23;
+};
+
+/// Evaluate every configuration in `space` by k-fold cross-validated top-1
+/// accuracy on `data`, returning the best.
+[[nodiscard]] GridSearchResult grid_search(const Dataset& data,
+                                           const GridSearchSpace& space,
+                                           const GridSearchConfig& config = {});
+
+/// Mean k-fold cross-validated accuracy of one configuration.
+[[nodiscard]] double cross_validate(const Dataset& data,
+                                    const ForestConfig& forest_config,
+                                    int folds, std::uint64_t seed);
+
+}  // namespace starlab::ml

@@ -1,0 +1,30 @@
+#pragma once
+
+// Evaluation metrics. The paper's headline metric is top-k accuracy: the
+// prediction counts as correct if the true class appears among the model's
+// k most likely classes (Fig 8 sweeps k = 1..9).
+
+#include <span>
+#include <vector>
+
+namespace starlab::ml {
+
+/// Interface alias: something that ranks classes for a feature row, most
+/// likely first.
+using RankFn = std::vector<int> (*)(std::span<const double>);
+
+/// Top-k accuracy given per-row class rankings and true labels.
+[[nodiscard]] double top_k_accuracy(
+    std::span<const std::vector<int>> rankings, std::span<const int> labels,
+    int k);
+
+/// Plain accuracy (top-1 over argmax predictions).
+[[nodiscard]] double accuracy(std::span<const int> predictions,
+                              std::span<const int> labels);
+
+/// Per-class confusion counts: confusion[truth][predicted].
+[[nodiscard]] std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> predictions, std::span<const int> labels,
+    int num_classes);
+
+}  // namespace starlab::ml

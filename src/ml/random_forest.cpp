@@ -1,0 +1,155 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace starlab::ml {
+
+void RandomForest::fit(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("empty training set");
+  trees_.clear();
+  num_features_ = data.num_features();
+  num_classes_ = data.num_classes();
+
+  TreeConfig tree_cfg = config_.tree;
+  if (tree_cfg.mtry <= 0) {
+    tree_cfg.mtry = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(num_features_))));
+  }
+
+  std::mt19937_64 rng(config_.seed);
+  const auto n_boot = static_cast<std::size_t>(
+      config_.bootstrap_fraction * static_cast<double>(data.size()));
+  std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+
+  // Out-of-bag vote tally: votes[i * classes + c].
+  std::vector<int> oob_votes;
+  std::vector<bool> in_bag;
+  if (config_.compute_oob) {
+    oob_votes.assign(data.size() * static_cast<std::size_t>(num_classes_), 0);
+  }
+
+  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+  for (int t = 0; t < config_.num_trees; ++t) {
+    std::vector<std::size_t> sample(n_boot);
+    if (config_.compute_oob) in_bag.assign(data.size(), false);
+    for (std::size_t& s : sample) {
+      s = pick(rng);
+      if (config_.compute_oob) in_bag[s] = true;
+    }
+
+    DecisionTree tree(tree_cfg);
+    tree.fit(data, sample, rng);
+
+    if (config_.compute_oob) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (in_bag[i]) continue;
+        const int predicted = tree.predict(data.row(i));
+        oob_votes[i * static_cast<std::size_t>(num_classes_) +
+                  static_cast<std::size_t>(predicted)] += 1;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  if (config_.compute_oob) {
+    std::size_t voted = 0, correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto* row_votes =
+          oob_votes.data() + i * static_cast<std::size_t>(num_classes_);
+      const int winner = static_cast<int>(
+          std::max_element(row_votes, row_votes + num_classes_) - row_votes);
+      if (row_votes[winner] == 0) continue;  // never out of bag
+      ++voted;
+      if (winner == data.label(i)) ++correct;
+    }
+    oob_accuracy_ = voted == 0 ? -1.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(voted);
+  } else {
+    oob_accuracy_ = -1.0;
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < acc.size() && c < p.size(); ++c) acc[c] += p[c];
+  }
+  if (!trees_.empty()) {
+    for (double& v : acc) v /= static_cast<double>(trees_.size());
+  }
+  return acc;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const std::vector<double> p = predict_proba(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> RandomForest::ranked_classes(
+    std::span<const double> features) const {
+  const std::vector<double> p = predict_proba(features);
+  std::vector<int> order(p.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return p[static_cast<std::size_t>(a)] > p[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> acc(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& dec = tree.impurity_decrease();
+    for (std::size_t f = 0; f < acc.size() && f < dec.size(); ++f) {
+      acc[f] += dec[f];
+    }
+  }
+  const double total = std::accumulate(acc.begin(), acc.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : acc) v /= total;
+  }
+  return acc;
+}
+
+void RandomForest::save(std::ostream& out) const {
+  out.precision(17);
+  out << "forest " << trees_.size() << ' ' << num_features_ << ' '
+      << num_classes_ << '\n';
+  out << "config " << config_.num_trees << ' ' << config_.tree.max_depth << ' '
+      << config_.tree.min_samples_split << ' ' << config_.tree.min_samples_leaf
+      << ' ' << config_.tree.mtry << ' ' << config_.bootstrap_fraction << ' '
+      << config_.seed << '\n';
+  for (const DecisionTree& tree : trees_) tree.save(out);
+}
+
+RandomForest RandomForest::load(std::istream& in) {
+  std::string tag;
+  std::size_t num_trees = 0;
+  RandomForest forest;
+  if (!(in >> tag) || tag != "forest" ||
+      !(in >> num_trees >> forest.num_features_ >> forest.num_classes_)) {
+    throw std::runtime_error("malformed forest header");
+  }
+  if (!(in >> tag) || tag != "config" ||
+      !(in >> forest.config_.num_trees >> forest.config_.tree.max_depth >>
+        forest.config_.tree.min_samples_split >>
+        forest.config_.tree.min_samples_leaf >> forest.config_.tree.mtry >>
+        forest.config_.bootstrap_fraction >> forest.config_.seed)) {
+    throw std::runtime_error("malformed forest config");
+  }
+  forest.trees_.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    forest.trees_.push_back(DecisionTree::load(in));
+  }
+  return forest;
+}
+
+}  // namespace starlab::ml

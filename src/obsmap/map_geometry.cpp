@@ -1,0 +1,39 @@
+#include "obsmap/map_geometry.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace starlab::obsmap {
+
+std::optional<Pixel> MapGeometry::pixel_of(const SkyPoint& p) const {
+  if (p.elevation_deg < min_elevation_deg ||
+      p.elevation_deg > max_elevation_deg) {
+    return std::nullopt;
+  }
+  // Radius: 0 at zenith, radius_px at the rim elevation.
+  const double r = (max_elevation_deg - p.elevation_deg) /
+                   (max_elevation_deg - min_elevation_deg) * radius_px;
+  const double az = geo::deg_to_rad(p.azimuth_deg);
+  // North (az 0) points up the image (-y); azimuth grows clockwise (+x east).
+  const double x = center_x + r * std::sin(az);
+  const double y = center_y - r * std::cos(az);
+  return Pixel{static_cast<int>(std::lround(x)), static_cast<int>(std::lround(y))};
+}
+
+std::optional<SkyPoint> MapGeometry::sky_of(const Pixel& px) const {
+  const double dx = px.x - center_x;
+  const double dy = px.y - center_y;
+  const double r = std::hypot(dx, dy);
+  if (r > radius_px + 0.5) return std::nullopt;
+
+  SkyPoint p;
+  p.elevation_deg = max_elevation_deg -
+                    std::min(r, radius_px) / radius_px *
+                        (max_elevation_deg - min_elevation_deg);
+  // atan2(east, north) == clockwise angle from north.
+  p.azimuth_deg = geo::wrap_360(geo::rad_to_deg(std::atan2(dx, -dy)));
+  return p;
+}
+
+}  // namespace starlab::obsmap

@@ -1,0 +1,45 @@
+#pragma once
+
+// The polar-plot geometry of Starlink's gRPC obstruction maps, as recovered
+// by the paper (§4.1): a 123x123 image whose contained polar plot is centred
+// at pixel (61, 61) with radius 45 px; the radius axis is the angle of
+// elevation (25 deg at the rim, 90 deg at the centre) and the polar angle is
+// the azimuth (0 == north == straight up, increasing clockwise).
+
+#include <optional>
+
+namespace starlab::obsmap {
+
+/// A pixel coordinate (x == column, y == row; row 0 is the top of the image,
+/// i.e. north).
+struct Pixel {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const Pixel&) const = default;
+};
+
+/// A sky direction in the map's terms.
+struct SkyPoint {
+  double azimuth_deg = 0.0;
+  double elevation_deg = 0.0;
+};
+
+struct MapGeometry {
+  double center_x = 61.0;
+  double center_y = 61.0;
+  double radius_px = 45.0;
+  double min_elevation_deg = 25.0;  ///< elevation at the rim
+  double max_elevation_deg = 90.0;  ///< elevation at the centre
+
+  /// Pixel for a sky direction; nullopt when the elevation is below the rim.
+  [[nodiscard]] std::optional<Pixel> pixel_of(const SkyPoint& p) const;
+
+  /// Sky direction of a pixel centre; nullopt when the pixel lies outside
+  /// the polar plot.
+  [[nodiscard]] std::optional<SkyPoint> sky_of(const Pixel& px) const;
+
+  bool operator==(const MapGeometry&) const = default;
+};
+
+}  // namespace starlab::obsmap

@@ -1,0 +1,36 @@
+#include "obsmap/map_params.hpp"
+
+namespace starlab::obsmap {
+
+std::optional<RecoveredParams> recover_geometry(const ObstructionMap& filled,
+                                                std::size_t min_pixels,
+                                                double min_elevation_deg,
+                                                double max_elevation_deg) {
+  const std::vector<Pixel> pixels = filled.set_pixels();
+  if (pixels.size() < min_pixels) return std::nullopt;
+
+  RecoveredParams out;
+  out.painted_pixels = pixels.size();
+  out.bbox_min_x = out.bbox_max_x = pixels.front().x;
+  out.bbox_min_y = out.bbox_max_y = pixels.front().y;
+  for (const Pixel& p : pixels) {
+    out.bbox_min_x = std::min(out.bbox_min_x, p.x);
+    out.bbox_max_x = std::max(out.bbox_max_x, p.x);
+    out.bbox_min_y = std::min(out.bbox_min_y, p.y);
+    out.bbox_max_y = std::max(out.bbox_max_y, p.y);
+  }
+
+  MapGeometry g;
+  g.center_x = 0.5 * (out.bbox_min_x + out.bbox_max_x);
+  g.center_y = 0.5 * (out.bbox_min_y + out.bbox_max_y);
+  // The plot radius is half the bounding-box extent; average both axes to
+  // shave quantization error.
+  g.radius_px = 0.25 * ((out.bbox_max_x - out.bbox_min_x) +
+                        (out.bbox_max_y - out.bbox_min_y));
+  g.min_elevation_deg = min_elevation_deg;
+  g.max_elevation_deg = max_elevation_deg;
+  out.geometry = g;
+  return out;
+}
+
+}  // namespace starlab::obsmap

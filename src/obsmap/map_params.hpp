@@ -1,0 +1,33 @@
+#pragma once
+
+// Recovery of the obstruction map's polar-plot parameters from a filled
+// frame (§4.1, "Uncovering gRPC obstruction map parameters").
+//
+// The raw frames carry no axes. The paper left a dish online for two days so
+// trajectories covered the whole field of view, then drew the bounding box
+// of the painted region: its centre is the plot centre, half its extent the
+// plot radius, and the radial axis must span [25, 90] deg elevation because
+// the hardware cannot track below 25 deg. recover_geometry() implements
+// that procedure on an accumulated frame.
+
+#include <optional>
+
+#include "obsmap/obstruction_map.hpp"
+
+namespace starlab::obsmap {
+
+struct RecoveredParams {
+  MapGeometry geometry;
+  int bbox_min_x = 0, bbox_max_x = 0;
+  int bbox_min_y = 0, bbox_max_y = 0;
+  std::size_t painted_pixels = 0;
+};
+
+/// Recover the polar-plot geometry from a well-filled accumulated frame.
+/// Returns nullopt when the frame is too sparse for a trustworthy bounding
+/// box (fewer than `min_pixels` painted).
+[[nodiscard]] std::optional<RecoveredParams> recover_geometry(
+    const ObstructionMap& filled, std::size_t min_pixels = 500,
+    double min_elevation_deg = 25.0, double max_elevation_deg = 90.0);
+
+}  // namespace starlab::obsmap

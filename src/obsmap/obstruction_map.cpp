@@ -1,0 +1,71 @@
+#include "obsmap/obstruction_map.hpp"
+
+#include <algorithm>
+
+namespace starlab::obsmap {
+
+std::size_t ObstructionMap::popcount() const {
+  return static_cast<std::size_t>(
+      std::count_if(bits_.begin(), bits_.end(),
+                    [](std::uint8_t b) { return b != 0; }));
+}
+
+std::vector<Pixel> ObstructionMap::set_pixels() const {
+  std::vector<Pixel> out;
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) {
+      if (bits_[index(x, y)]) out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+ObstructionMap ObstructionMap::exclusive_or(const ObstructionMap& other) const {
+  ObstructionMap out;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = bits_[i] ^ other.bits_[i];
+  }
+  return out;
+}
+
+void ObstructionMap::merge(const ObstructionMap& other) {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = bits_[i] | other.bits_[i];
+  }
+}
+
+bool ObstructionMap::subset_of(const ObstructionMap& other) const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] && !other.bits_[i]) return false;
+  }
+  return true;
+}
+
+std::string ObstructionMap::to_pgm() const {
+  std::string out = "P5\n123 123\n255\n";
+  out.reserve(out.size() + bits_.size());
+  for (const std::uint8_t b : bits_) {
+    out.push_back(b ? static_cast<char>(255) : static_cast<char>(0));
+  }
+  return out;
+}
+
+std::string ObstructionMap::to_ascii(int downsample) const {
+  if (downsample < 1) downsample = 1;
+  std::string out;
+  for (int y = 0; y < kSize; y += downsample) {
+    for (int x = 0; x < kSize; x += downsample) {
+      bool any = false;
+      for (int dy = 0; dy < downsample && !any; ++dy) {
+        for (int dx = 0; dx < downsample && !any; ++dx) {
+          any = get(x + dx, y + dy);
+        }
+      }
+      out.push_back(any ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace starlab::obsmap

@@ -1,0 +1,73 @@
+#pragma once
+
+// Painting satellite trajectories into obstruction-map frames, and the
+// dish-side recorder that accumulates them.
+//
+// A real dish paints the sky path of whichever satellite currently serves it
+// into its obstruction map, cumulatively, until rebooted. MapRecorder
+// reproduces exactly that observable behaviour for the simulated terminal;
+// the §4 pipeline then consumes its 15-second snapshots the way the paper
+// consumes starlink-grpc-tools dumps.
+
+#include <optional>
+
+#include "constellation/catalog.hpp"
+#include "ground/terminal.hpp"
+#include "obsmap/obstruction_map.hpp"
+#include "scheduler/global_scheduler.hpp"
+#include "time/slot_grid.hpp"
+
+namespace starlab::obsmap {
+
+class TrajectoryPainter {
+ public:
+  explicit TrajectoryPainter(MapGeometry geometry = {},
+                             double sample_interval_sec = 1.0)
+      : geometry_(geometry), sample_interval_sec_(sample_interval_sec) {}
+
+  /// Paint the sky path of `catalog_index` as seen from `terminal` over
+  /// [t_begin, t_end) into `frame`. Consecutive samples are joined with a
+  /// line so the trace is gap-free at any sampling rate.
+  void paint(const constellation::Catalog& catalog, std::size_t catalog_index,
+             const ground::Terminal& terminal, double t_begin, double t_end,
+             ObstructionMap& frame) const;
+
+  [[nodiscard]] const MapGeometry& geometry() const { return geometry_; }
+
+ private:
+  MapGeometry geometry_;
+  double sample_interval_sec_;
+};
+
+/// Dish-side accumulating recorder: one per terminal.
+class MapRecorder {
+ public:
+  MapRecorder(const constellation::Catalog& catalog,
+              const ground::Terminal& terminal, time::SlotGrid grid,
+              TrajectoryPainter painter = TrajectoryPainter())
+      : catalog_(catalog), terminal_(terminal), grid_(grid), painter_(painter) {}
+
+  /// Paint one slot's serving-satellite trajectory (nullopt allocation
+  /// paints nothing) and return the post-slot snapshot — what a gRPC poll at
+  /// the end of the slot would fetch.
+  ObstructionMap record_slot(
+      const std::optional<scheduler::Allocation>& allocation);
+
+  /// Terminal reboot: wipe the accumulated frame (the paper resets every
+  /// 10 minutes to keep trajectories XOR-separable).
+  void reset() { accumulated_.clear(); }
+
+  [[nodiscard]] const ObstructionMap& accumulated() const {
+    return accumulated_;
+  }
+  [[nodiscard]] const TrajectoryPainter& painter() const { return painter_; }
+
+ private:
+  const constellation::Catalog& catalog_;
+  const ground::Terminal& terminal_;
+  time::SlotGrid grid_;
+  TrajectoryPainter painter_;
+  ObstructionMap accumulated_;
+};
+
+}  // namespace starlab::obsmap

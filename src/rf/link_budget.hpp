@@ -1,0 +1,51 @@
+#pragma once
+
+// Ku-band link-budget model.
+//
+// The paper's §5 rationales lean on RF physics: "RF power decreases
+// inversely with distance, so satellites farther away need significantly
+// more power" (why high-AOE birds are preferred, and why *dark* ones are
+// only used near zenith). This module makes that argument quantitative —
+// free-space path loss, received SNR and Shannon-bounded capacity as a
+// function of slant range — and feeds the throughput model.
+
+namespace starlab::rf {
+
+/// Boltzmann constant [dBW/K/Hz].
+inline constexpr double kBoltzmannDbw = -228.6;
+
+/// One direction of a radio link.
+struct LinkParams {
+  double eirp_dbw = 36.0;        ///< transmit EIRP
+  double rx_gain_dbi = 33.0;     ///< receive antenna gain
+  double frequency_ghz = 12.0;   ///< carrier (Ku-band user downlink)
+  double bandwidth_mhz = 240.0;  ///< channel bandwidth
+  double noise_temp_k = 290.0;   ///< receiver system noise temperature
+  double misc_losses_db = 2.0;   ///< pointing, polarization, atmosphere
+};
+
+/// Starlink-like Ku user downlink (satellite -> dish).
+[[nodiscard]] LinkParams ku_user_downlink();
+
+/// Free-space path loss [dB] for a slant range and carrier frequency.
+[[nodiscard]] double fspl_db(double range_km, double frequency_ghz);
+
+/// Received carrier power [dBW] at the given slant range.
+[[nodiscard]] double received_power_dbw(const LinkParams& link,
+                                        double range_km);
+
+/// Carrier-to-noise ratio [dB] at the given slant range.
+[[nodiscard]] double cn_db(const LinkParams& link, double range_km);
+
+/// Shannon-bounded link capacity [Mbit/s] at the given slant range, scaled
+/// by an implementation efficiency in (0, 1].
+[[nodiscard]] double shannon_capacity_mbps(const LinkParams& link,
+                                           double range_km,
+                                           double efficiency = 0.65);
+
+/// Transmit power [dBW] needed to hold a target C/N at the given range —
+/// the energy cost the scheduler's dark-satellite logic trades against.
+[[nodiscard]] double required_eirp_dbw(const LinkParams& link, double range_km,
+                                       double target_cn_db);
+
+}  // namespace starlab::rf

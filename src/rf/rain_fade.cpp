@@ -1,0 +1,28 @@
+#include "rf/rain_fade.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace starlab::rf {
+
+double specific_attenuation_db_per_km(double rain_rate_mm_h,
+                                      const RainModel& model) {
+  if (rain_rate_mm_h <= 0.0) return 0.0;
+  return model.k * std::pow(rain_rate_mm_h, model.alpha);
+}
+
+double effective_path_km(double elevation_deg, const RainModel& model) {
+  const double el = std::max(elevation_deg, 5.0);
+  return model.rain_height_km / std::sin(geo::deg_to_rad(el)) *
+         model.path_reduction;
+}
+
+double rain_attenuation_db(double rain_rate_mm_h, double elevation_deg,
+                           const RainModel& model) {
+  return specific_attenuation_db_per_km(rain_rate_mm_h, model) *
+         effective_path_km(elevation_deg, model);
+}
+
+}  // namespace starlab::rf

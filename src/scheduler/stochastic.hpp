@@ -1,0 +1,38 @@
+#pragma once
+
+// Deterministic counter-based randomness for the simulation oracles.
+//
+// The global and MAC schedulers must be *stateless functions of
+// (entity, slot)* so that re-running a campaign — or probing the same slot
+// from two code paths (RTT synthesis and obstruction-map painting) — sees
+// the same world. splitmix64 over a mixed key gives i.i.d.-quality bits
+// without any shared mutable RNG state.
+
+#include <cstdint>
+
+namespace starlab::scheduler {
+
+/// splitmix64 finalizer: avalanche a 64-bit key.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine up to four 64-bit keys into one avalanche-mixed value.
+[[nodiscard]] constexpr std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c = 0,
+                                               std::uint64_t d = 0) {
+  std::uint64_t h = splitmix64(a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  return splitmix64(h ^ d);
+}
+
+/// Uniform double in [0, 1) from a mixed key.
+[[nodiscard]] constexpr double uniform01(std::uint64_t key) {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+}  // namespace starlab::scheduler

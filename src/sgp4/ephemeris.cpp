@@ -1,0 +1,20 @@
+#include "sgp4/ephemeris.hpp"
+
+#include "geo/frames.hpp"
+
+namespace starlab::sgp4 {
+
+geo::Vec3 Ephemeris::position_ecef(const time::JulianDate& jd) const {
+  return geo::teme_to_ecef(state_teme(jd).position_km, jd);
+}
+
+geo::Geodetic Ephemeris::subpoint(const time::JulianDate& jd) const {
+  return geo::ecef_to_geodetic(position_ecef(jd));
+}
+
+geo::LookAngles Ephemeris::look_from(const geo::Geodetic& observer,
+                                     const time::JulianDate& jd) const {
+  return geo::look_angles(observer, position_ecef(jd));
+}
+
+}  // namespace starlab::sgp4

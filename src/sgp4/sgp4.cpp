@@ -1,0 +1,301 @@
+#include "sgp4/sgp4.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/wgs.hpp"
+
+namespace starlab::sgp4 {
+
+namespace {
+
+// WGS-72 gravity constants in SGP4's canonical units.
+constexpr double kMu = geo::kWgs72.mu_km3_s2;
+constexpr double kRe = geo::kWgs72.radius_km;
+constexpr double kJ2 = geo::kWgs72.j2;
+constexpr double kJ3 = geo::kWgs72.j3;
+constexpr double kJ4 = geo::kWgs72.j4;
+constexpr double kJ3OverJ2 = kJ3 / kJ2;
+const double kXke = 60.0 / std::sqrt(kRe * kRe * kRe / kMu);  // sqrt(mu) in ER^1.5/min
+constexpr double kTwoThirds = 2.0 / 3.0;
+constexpr double kTwoPi = geo::kTwoPi;
+
+}  // namespace
+
+Sgp4::Sgp4(const tle::Tle& tle) : epoch_(tle.epoch_jd()) {
+  ecco_ = tle.eccentricity;
+  inclo_ = geo::deg_to_rad(tle.inclination_deg);
+  nodeo_ = geo::deg_to_rad(tle.raan_deg);
+  argpo_ = geo::deg_to_rad(tle.arg_perigee_deg);
+  mo_ = geo::deg_to_rad(tle.mean_anomaly_deg);
+  bstar_ = tle.bstar;
+
+  if (ecco_ < 0.0 || ecco_ >= 1.0) {
+    throw Sgp4Error(Sgp4Error::Code::kEccentricityOutOfRange,
+                    "TLE eccentricity outside [0,1)");
+  }
+  const double no_kozai =
+      tle.mean_motion_rev_per_day * kTwoPi / time::kMinutesPerDay;  // rad/min
+  if (no_kozai <= 0.0) {
+    throw Sgp4Error(Sgp4Error::Code::kMeanMotionNonPositive,
+                    "TLE mean motion must be positive");
+  }
+
+  // ---- initl: recover the Brouwer mean motion from the Kozai value. ----
+  const double eccsq = ecco_ * ecco_;
+  const double omeosq = 1.0 - eccsq;
+  const double rteosq = std::sqrt(omeosq);
+  const double cosio = std::cos(inclo_);
+  const double cosio2 = cosio * cosio;
+
+  const double ak = std::pow(kXke / no_kozai, kTwoThirds);
+  const double d1 = 0.75 * kJ2 * (3.0 * cosio2 - 1.0) / (rteosq * omeosq);
+  double del = d1 / (ak * ak);
+  const double adel =
+      ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
+  del = d1 / (adel * adel);
+  no_unkozai_ = no_kozai / (1.0 + del);
+
+  ao_ = std::pow(kXke / no_unkozai_, kTwoThirds);
+  const double sinio = std::sin(inclo_);
+  const double po = ao_ * omeosq;
+  const double con42 = 1.0 - 5.0 * cosio2;
+  con41_ = -con42 - 2.0 * cosio2;  // == 3*cos^2(i) - 1
+  const double posq = po * po;
+  const double rp = ao_ * (1.0 - ecco_);
+
+  if (kTwoPi / no_unkozai_ >= 225.0) {
+    throw Sgp4Error(Sgp4Error::Code::kDeepSpaceUnsupported,
+                    "deep-space (period >= 225 min) element sets are not "
+                    "supported; Starlink shells are all near-Earth");
+  }
+
+  // ---- sgp4init: drag and periodic coefficients. ----
+  isimp_ = rp < (220.0 / kRe + 1.0);
+
+  // Atmospheric-density reference altitudes (s4 / q0 parameters).
+  double sfour = 78.0 / kRe + 1.0;
+  double qzms24 = std::pow((120.0 - 78.0) / kRe, 4.0);
+  const double perige = (rp - 1.0) * kRe;
+  if (perige < 156.0) {
+    sfour = perige - 78.0;
+    if (perige < 98.0) sfour = 20.0;
+    qzms24 = std::pow((120.0 - sfour) / kRe, 4.0);
+    sfour = sfour / kRe + 1.0;
+  }
+
+  const double pinvsq = 1.0 / posq;
+  const double tsi = 1.0 / (ao_ - sfour);
+  eta_ = ao_ * ecco_ * tsi;
+  const double etasq = eta_ * eta_;
+  const double eeta = ecco_ * eta_;
+  const double psisq = std::fabs(1.0 - etasq);
+  const double coef = qzms24 * std::pow(tsi, 4.0);
+  const double coef1 = coef / std::pow(psisq, 3.5);
+
+  const double cc2 =
+      coef1 * no_unkozai_ *
+      (ao_ * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.375 * kJ2 * tsi / psisq * con41_ * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  cc1_ = bstar_ * cc2;
+  double cc3 = 0.0;
+  if (ecco_ > 1.0e-4) {
+    cc3 = -2.0 * coef * tsi * kJ3OverJ2 * no_unkozai_ * sinio / ecco_;
+  }
+  x1mth2_ = 1.0 - cosio2;
+  cc4_ = 2.0 * no_unkozai_ * coef1 * ao_ * omeosq *
+         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
+          kJ2 * tsi / (ao_ * psisq) *
+              (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                   std::cos(2.0 * argpo_)));
+  cc5_ = 2.0 * coef1 * ao_ * omeosq *
+         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+  const double cosio4 = cosio2 * cosio2;
+  const double temp1 = 1.5 * kJ2 * pinvsq * no_unkozai_;
+  const double temp2 = 0.5 * temp1 * kJ2 * pinvsq;
+  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * no_unkozai_;
+  mdot_ = no_unkozai_ + 0.5 * temp1 * rteosq * con41_ +
+          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  argpdot_ = -0.5 * temp1 * con42 +
+             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double xhdot1 = -temp1 * cosio;
+  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                          cosio;
+
+  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
+  xmcof_ = 0.0;
+  if (ecco_ > 1.0e-4) xmcof_ = -kTwoThirds * coef * bstar_ / eeta;
+  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
+  t2cof_ = 1.5 * cc1_;
+
+  // xlcof has a singularity at i == 180 deg; use the reference guard.
+  if (std::fabs(cosio + 1.0) > 1.5e-12) {
+    xlcof_ = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
+  } else {
+    xlcof_ = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
+  }
+  aycof_ = -0.5 * kJ3OverJ2 * sinio;
+  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
+  sinmao_ = std::sin(mo_);
+  x7thm1_ = 7.0 * cosio2 - 1.0;
+
+  if (!isimp_) {
+    const double cc1sq = cc1_ * cc1_;
+    d2_ = 4.0 * ao_ * tsi * cc1sq;
+    const double temp = d2_ * tsi * cc1_ / 3.0;
+    d3_ = (17.0 * ao_ + sfour) * temp;
+    d4_ = 0.5 * temp * ao_ * tsi * (221.0 * ao_ + 31.0 * sfour) * cc1_;
+    t3cof_ = d2_ + 2.0 * cc1sq;
+    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
+    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
+                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+  }
+}
+
+double Sgp4::semi_major_axis_km() const { return ao_ * kRe; }
+
+StateVector Sgp4::propagate(double t) const {
+  // ---- Secular gravity and atmospheric drag. ----
+  const double xmdf = mo_ + mdot_ * t;
+  const double argpdf = argpo_ + argpdot_ * t;
+  const double nodedf = nodeo_ + nodedot_ * t;
+  double argpm = argpdf;
+  double mm = xmdf;
+  const double t2 = t * t;
+  double nodem = nodedf + nodecf_ * t2;
+  double tempa = 1.0 - cc1_ * t;
+  double tempe = bstar_ * cc4_ * t;
+  double templ = t2cof_ * t2;
+
+  if (!isimp_) {
+    const double delomg = omgcof_ * t;
+    const double delmtemp = 1.0 + eta_ * std::cos(xmdf);
+    const double delm = xmcof_ * (delmtemp * delmtemp * delmtemp - delmo_);
+    const double temp = delomg + delm;
+    mm = xmdf + temp;
+    argpm = argpdf - temp;
+    const double t3 = t2 * t;
+    const double t4 = t3 * t;
+    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
+    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
+    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+  }
+
+  double nm = no_unkozai_;
+  double em = ecco_;
+  const double inclm = inclo_;
+
+  const double am = std::pow(kXke / nm, kTwoThirds) * tempa * tempa;
+  nm = kXke / std::pow(am, 1.5);
+  em = em - tempe;
+
+  if (em >= 1.0 || em < -0.001) {
+    throw Sgp4Error(Sgp4Error::Code::kEccentricityOutOfRange,
+                    "propagated eccentricity outside SGP4 domain");
+  }
+  if (em < 1.0e-6) em = 1.0e-6;
+
+  mm = mm + no_unkozai_ * templ;
+  double xlm = mm + argpm + nodem;
+  nodem = std::fmod(nodem, kTwoPi);
+  argpm = std::fmod(argpm, kTwoPi);
+  xlm = std::fmod(xlm, kTwoPi);
+  mm = std::fmod(xlm - argpm - nodem, kTwoPi);
+
+  // ---- Long-period periodics. ----
+  const double sinip = std::sin(inclm);
+  const double cosip = std::cos(inclm);
+  const double ep = em;
+  const double xincp = inclm;
+  const double argpp = argpm;
+  const double nodep = nodem;
+  const double mp = mm;
+
+  const double axnl = ep * std::cos(argpp);
+  double temp = 1.0 / (am * (1.0 - ep * ep));
+  const double aynl = ep * std::sin(argpp) + temp * aycof_;
+  const double xl = mp + argpp + nodep + temp * xlcof_ * axnl;
+
+  // ---- Kepler's equation (modified for long-period terms). ----
+  const double u = std::fmod(xl - nodep, kTwoPi);
+  double eo1 = u;
+  double tem5 = 9999.9;
+  double sineo1 = 0.0, coseo1 = 0.0;
+  int ktr = 1;
+  while (std::fabs(tem5) >= 1.0e-12 && ktr <= 10) {
+    sineo1 = std::sin(eo1);
+    coseo1 = std::cos(eo1);
+    tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+    tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+    if (std::fabs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+    eo1 += tem5;
+    ++ktr;
+  }
+
+  // ---- Short-period periodics. ----
+  const double ecose = axnl * coseo1 + aynl * sineo1;
+  const double esine = axnl * sineo1 - aynl * coseo1;
+  const double el2 = axnl * axnl + aynl * aynl;
+  const double pl = am * (1.0 - el2);
+  if (pl < 0.0) {
+    throw Sgp4Error(Sgp4Error::Code::kNegativeSemiLatusRectum,
+                    "semi-latus rectum went negative");
+  }
+
+  const double rl = am * (1.0 - ecose);
+  const double rdotl = std::sqrt(am) * esine / rl;
+  const double rvdotl = std::sqrt(pl) / rl;
+  const double betal = std::sqrt(1.0 - el2);
+  temp = esine / (1.0 + betal);
+  const double sinu = am / rl * (sineo1 - aynl - axnl * temp);
+  const double cosu = am / rl * (coseo1 - axnl + aynl * temp);
+  double su = std::atan2(sinu, cosu);
+  const double sin2u = (cosu + cosu) * sinu;
+  const double cos2u = 1.0 - 2.0 * sinu * sinu;
+  temp = 1.0 / pl;
+  const double temp1 = 0.5 * kJ2 * temp;
+  const double temp2 = temp1 * temp;
+
+  const double mrt =
+      rl * (1.0 - 1.5 * temp2 * betal * con41_) + 0.5 * temp1 * x1mth2_ * cos2u;
+  su = su - 0.25 * temp2 * x7thm1_ * sin2u;
+  const double xnode = nodep + 1.5 * temp2 * cosip * sin2u;
+  const double xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
+  const double mvt = rdotl - nm * temp1 * x1mth2_ * sin2u / kXke;
+  const double rvdot =
+      rvdotl + nm * temp1 * (x1mth2_ * cos2u + 1.5 * con41_) / kXke;
+
+  // ---- Orientation vectors and final state. ----
+  const double sinsu = std::sin(su);
+  const double cossu = std::cos(su);
+  const double snod = std::sin(xnode);
+  const double cnod = std::cos(xnode);
+  const double sini = std::sin(xinc);
+  const double cosi = std::cos(xinc);
+  const double xmx = -snod * cosi;
+  const double xmy = cnod * cosi;
+  const double ux = xmx * sinsu + cnod * cossu;
+  const double uy = xmy * sinsu + snod * cossu;
+  const double uz = sini * sinsu;
+  const double vx = xmx * cossu - cnod * sinsu;
+  const double vy = xmy * cossu - snod * sinsu;
+  const double vz = sini * cossu;
+
+  if (mrt < 1.0) {
+    throw Sgp4Error(Sgp4Error::Code::kDecayed, "satellite has decayed");
+  }
+
+  const double vkmpersec = kRe * kXke / 60.0;
+  StateVector out;
+  out.position_km = {mrt * ux * kRe, mrt * uy * kRe, mrt * uz * kRe};
+  out.velocity_km_s = {(mvt * ux + rvdot * vx) * vkmpersec,
+                       (mvt * uy + rvdot * vy) * vkmpersec,
+                       (mvt * uz + rvdot * vz) * vkmpersec};
+  return out;
+}
+
+}  // namespace starlab::sgp4

@@ -1,0 +1,98 @@
+#pragma once
+
+// SGP4 orbit propagator (near-Earth variant), after Vallado et al.,
+// "Revisiting Spacetrack Report #3" (AIAA 2006-6753) and the reference
+// implementation in Vallado's sgp4unit.
+//
+// This is the same propagator the paper runs (via Skyfield) on CelesTrak
+// TLEs to compute candidate satellite positions for every 15-second slot.
+// Only the near-Earth branch is implemented: every Starlink shell orbits
+// with a period around 95 minutes, far below the 225-minute deep-space
+// threshold; constructing an Sgp4 from a deep-space element set throws.
+//
+// Frames/units: input TLE mean elements (WGS-72), output position [km] and
+// velocity [km/s] in the TEME frame at the requested time since epoch.
+
+#include <stdexcept>
+
+#include "geo/vec3.hpp"
+#include "time/julian_date.hpp"
+#include "tle/tle.hpp"
+
+namespace starlab::sgp4 {
+
+/// Thrown when an element set cannot be initialized (deep-space orbit,
+/// nonsensical elements) or when propagation leaves SGP4's domain (orbit
+/// decay, eccentricity blow-up from drag).
+class Sgp4Error : public std::runtime_error {
+ public:
+  enum class Code {
+    kDeepSpaceUnsupported,
+    kEccentricityOutOfRange,
+    kMeanMotionNonPositive,
+    kNegativeSemiLatusRectum,
+    kKeplerNonConvergence,
+    kDecayed,
+  };
+
+  Sgp4Error(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Position/velocity state in TEME.
+struct StateVector {
+  geo::Vec3 position_km;
+  geo::Vec3 velocity_km_s;
+};
+
+class Sgp4 {
+ public:
+  /// Initialize the propagator from a parsed TLE. Performs the Kozai ->
+  /// Brouwer mean-motion recovery and precomputes all secular/periodic
+  /// coefficients. Throws Sgp4Error on invalid or deep-space elements.
+  explicit Sgp4(const tle::Tle& tle);
+
+  /// Propagate to `tsince_minutes` after the element-set epoch (negative
+  /// values propagate backwards). Throws Sgp4Error if the orbit leaves the
+  /// propagator's domain.
+  [[nodiscard]] StateVector propagate(double tsince_minutes) const;
+
+  /// Propagate to an absolute UTC instant.
+  [[nodiscard]] StateVector propagate_to(const time::JulianDate& jd) const {
+    return propagate(jd.minutes_since(epoch_));
+  }
+
+  /// Element-set epoch.
+  [[nodiscard]] const time::JulianDate& epoch() const { return epoch_; }
+
+  /// Brouwer mean motion recovered at init [rad/min].
+  [[nodiscard]] double mean_motion_rad_min() const { return no_unkozai_; }
+
+  /// Semi-major axis at epoch [km].
+  [[nodiscard]] double semi_major_axis_km() const;
+
+ private:
+  time::JulianDate epoch_;
+
+  // Original mean elements (radians, rad/min).
+  double ecco_ = 0.0, inclo_ = 0.0, nodeo_ = 0.0, argpo_ = 0.0, mo_ = 0.0;
+  double bstar_ = 0.0;
+  double no_unkozai_ = 0.0;
+
+  // Precomputed coefficients (names follow the reference implementation).
+  bool isimp_ = false;
+  double aycof_ = 0.0, con41_ = 0.0, cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0;
+  double d2_ = 0.0, d3_ = 0.0, d4_ = 0.0, delmo_ = 0.0, eta_ = 0.0;
+  double argpdot_ = 0.0, omgcof_ = 0.0, sinmao_ = 0.0, t2cof_ = 0.0;
+  double t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0, x1mth2_ = 0.0;
+  double x7thm1_ = 0.0, mdot_ = 0.0, nodedot_ = 0.0, xlcof_ = 0.0;
+  double xmcof_ = 0.0, nodecf_ = 0.0;
+  double ao_ = 0.0;
+};
+
+}  // namespace starlab::sgp4

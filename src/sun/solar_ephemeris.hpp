@@ -1,0 +1,34 @@
+#pragma once
+
+// Low-precision solar ephemeris (Astronomical Almanac), accurate to ~0.01 deg
+// over 1950-2050 — two orders of magnitude tighter than needed to decide
+// whether a satellite is sunlit (the paper computes this with Skyfield).
+
+#include "geo/geodetic.hpp"
+#include "geo/vec3.hpp"
+#include "time/julian_date.hpp"
+
+namespace starlab::sun {
+
+/// One astronomical unit [km].
+inline constexpr double kAuKm = 149597870.7;
+
+/// Solar radius [km].
+inline constexpr double kSunRadiusKm = 696000.0;
+
+/// Sun position [km] in the TEME/mean-equator frame at a UTC instant.
+[[nodiscard]] geo::Vec3 sun_position_teme(const time::JulianDate& jd);
+
+/// Unit vector toward the sun in the TEME frame.
+[[nodiscard]] geo::Vec3 sun_direction_teme(const time::JulianDate& jd);
+
+/// Local mean solar hour [0, 24) at a given longitude: UTC hour shifted by
+/// longitude/15. This is the "local time" feature (t_l) of the paper's model.
+[[nodiscard]] double local_solar_hour(double longitude_deg, double unix_sec);
+
+/// Sun elevation above the horizon [deg] for a ground site; negative at
+/// night. Used by the campaign driver to label day/night slots.
+[[nodiscard]] double sun_elevation_deg(const geo::Geodetic& site,
+                                       const time::JulianDate& jd);
+
+}  // namespace starlab::sun

@@ -1,0 +1,26 @@
+#include "time/gmst.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace starlab::time {
+
+double gmst_radians(const JulianDate& jd_ut1) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+
+  // Julian centuries of UT1 since J2000.0.
+  const double tut1 =
+      ((jd_ut1.day_part() - kJ2000Jd) + jd_ut1.frac_part()) / 36525.0;
+
+  // IAU 1982 GMST polynomial (Vallado Eq. 3-47), in seconds of time.
+  double gmst_sec = 67310.54841 +
+                    (876600.0 * 3600.0 + 8640184.812866) * tut1 +
+                    0.093104 * tut1 * tut1 - 6.2e-6 * tut1 * tut1 * tut1;
+
+  // Convert seconds of time to radians (360 deg == 86400 s of time).
+  double gmst = std::fmod(gmst_sec * (two_pi / 86400.0), two_pi);
+  if (gmst < 0.0) gmst += two_pi;
+  return gmst;
+}
+
+}  // namespace starlab::time

@@ -1,0 +1,15 @@
+#pragma once
+
+// Greenwich Mean Sidereal Time (IAU 1982 model), used to rotate SGP4's TEME
+// output frame into Earth-fixed coordinates.
+
+#include "time/julian_date.hpp"
+
+namespace starlab::time {
+
+/// GMST in radians, normalized to [0, 2*pi), for a UT1 Julian date.
+/// starlab approximates UT1 == UTC (|UT1-UTC| < 0.9 s, i.e. < 4e-5 rad of
+/// Earth rotation — far below the obstruction-map pixel quantization).
+[[nodiscard]] double gmst_radians(const JulianDate& jd_ut1);
+
+}  // namespace starlab::time

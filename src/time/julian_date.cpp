@@ -1,0 +1,40 @@
+#include "time/julian_date.hpp"
+
+#include <cmath>
+
+namespace starlab::time {
+
+void JulianDate::normalize() {
+  // Keep |frac_| < 1 and fold whole days into day_ so that the fraction
+  // retains full precision.
+  const double whole = std::floor(frac_);
+  if (whole != 0.0) {
+    day_ += whole;
+    frac_ -= whole;
+  }
+}
+
+JulianDate JulianDate::from_unix_seconds(double unix_sec) {
+  const double days = unix_sec / kSecondsPerDay;
+  const double whole = std::floor(days);
+  return {kUnixEpochJd + whole, days - whole};
+}
+
+double JulianDate::to_unix_seconds() const {
+  return ((day_ - kUnixEpochJd) + frac_) * kSecondsPerDay;
+}
+
+JulianDate JulianDate::from_calendar(int year, int month, int day, int hour,
+                                     int minute, double second) {
+  // Vallado, "Fundamentals of Astrodynamics and Applications", Algorithm 14.
+  // Valid for the Gregorian calendar years 1900..2100, which covers every
+  // epoch a Starlink TLE can carry.
+  const double jd_day =
+      367.0 * year -
+      std::floor(7.0 * (year + std::floor((month + 9.0) / 12.0)) * 0.25) +
+      std::floor(275.0 * month / 9.0) + day + 1721013.5;
+  const double frac = (second + minute * 60.0 + hour * 3600.0) / kSecondsPerDay;
+  return {jd_day, frac};
+}
+
+}  // namespace starlab::time

@@ -1,0 +1,83 @@
+#pragma once
+
+// Julian-date arithmetic.
+//
+// All astronomical code in starlab (SGP4, GMST, solar ephemeris) works in
+// Julian dates; everything user-facing works in Unix seconds. This header is
+// the bridge. Leap seconds are deliberately ignored (UTC is treated as a
+// uniform timescale): the paper's methodology is insensitive to sub-minute
+// absolute-time offsets, and both real Starlink tooling (starlink-grpc-tools)
+// and TLE epochs share this convention.
+
+namespace starlab::time {
+
+/// Julian date of the Unix epoch 1970-01-01T00:00:00Z.
+inline constexpr double kUnixEpochJd = 2440587.5;
+
+/// Julian date of the J2000.0 reference epoch 2000-01-01T12:00:00 TT.
+inline constexpr double kJ2000Jd = 2451545.0;
+
+/// Seconds per day.
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Minutes per day (SGP4's native time unit).
+inline constexpr double kMinutesPerDay = 1440.0;
+
+/// A Julian date split into an integer-ish day part and a fractional part to
+/// preserve sub-millisecond precision across decades-long spans.
+class JulianDate {
+ public:
+  JulianDate() = default;
+
+  /// Construct from a whole Julian date value (precision ~1e-6 day).
+  explicit JulianDate(double jd) : day_(jd), frac_(0.0) { normalize(); }
+
+  /// Construct from a split day/fraction pair (full double precision kept in
+  /// the fraction).
+  JulianDate(double day, double frac) : day_(day), frac_(frac) { normalize(); }
+
+  /// Julian date from Unix seconds (UTC).
+  static JulianDate from_unix_seconds(double unix_sec);
+
+  /// Julian date of a Gregorian calendar instant (proleptic, valid 1900-2100).
+  static JulianDate from_calendar(int year, int month, int day, int hour,
+                                  int minute, double second);
+
+  /// Combined value. Loses precision below ~1 microsecond for modern dates;
+  /// fine for display and coarse math.
+  [[nodiscard]] double value() const { return day_ + frac_; }
+
+  [[nodiscard]] double day_part() const { return day_; }
+  [[nodiscard]] double frac_part() const { return frac_; }
+
+  /// Unix seconds (UTC) for this Julian date.
+  [[nodiscard]] double to_unix_seconds() const;
+
+  /// Days elapsed since another Julian date (this - other).
+  [[nodiscard]] double days_since(const JulianDate& other) const {
+    return (day_ - other.day_) + (frac_ - other.frac_);
+  }
+
+  /// Minutes elapsed since another Julian date (this - other).
+  [[nodiscard]] double minutes_since(const JulianDate& other) const {
+    return days_since(other) * kMinutesPerDay;
+  }
+
+  /// A new Julian date offset by a number of days.
+  [[nodiscard]] JulianDate plus_days(double days) const {
+    return JulianDate(day_, frac_ + days);
+  }
+
+  /// A new Julian date offset by a number of seconds.
+  [[nodiscard]] JulianDate plus_seconds(double seconds) const {
+    return plus_days(seconds / kSecondsPerDay);
+  }
+
+ private:
+  void normalize();
+
+  double day_ = kJ2000Jd;
+  double frac_ = 0.0;
+};
+
+}  // namespace starlab::time

@@ -1,0 +1,84 @@
+#include "tle/catalog_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace starlab::tle {
+
+namespace {
+
+bool is_blank(const std::string& s) {
+  return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+std::string strip_cr(std::string s) {
+  while (!s.empty() && (s.back() == '\r' || s.back() == '\n')) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::vector<Tle> read_catalog(std::istream& in) {
+  std::vector<Tle> out;
+  std::string pending_name;
+  std::string line;
+  std::string line1;
+
+  while (std::getline(in, line)) {
+    line = strip_cr(line);
+    if (is_blank(line)) continue;
+
+    if (line.size() >= 2 && line[0] == '1' && line[1] == ' ') {
+      line1 = line;
+      continue;
+    }
+    if (line.size() >= 2 && line[0] == '2' && line[1] == ' ') {
+      if (line1.empty()) {
+        throw TleParseError("element line 2 without a preceding line 1");
+      }
+      out.push_back(Tle::parse(line1, line, pending_name));
+      line1.clear();
+      pending_name.clear();
+      continue;
+    }
+    // Anything else is a title line for the next record.
+    if (!line1.empty()) {
+      throw TleParseError("element line 1 not followed by line 2");
+    }
+    // Trim trailing spaces of the name.
+    const auto last = line.find_last_not_of(' ');
+    pending_name = line.substr(0, last + 1);
+  }
+  if (!line1.empty()) {
+    throw TleParseError("dangling element line 1 at end of catalog");
+  }
+  return out;
+}
+
+std::vector<Tle> read_catalog_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_catalog(in);
+}
+
+std::vector<Tle> load_catalog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open TLE catalog: " + path);
+  return read_catalog(in);
+}
+
+void write_catalog(std::ostream& out, const std::vector<Tle>& catalog) {
+  for (const Tle& t : catalog) {
+    if (!t.name.empty()) out << t.name << '\n';
+    out << t.format_line1() << '\n' << t.format_line2() << '\n';
+  }
+}
+
+void save_catalog_file(const std::string& path,
+                       const std::vector<Tle>& catalog) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write TLE catalog: " + path);
+  write_catalog(out, catalog);
+  if (!out) throw std::runtime_error("IO error writing TLE catalog: " + path);
+}
+
+}  // namespace starlab::tle

@@ -1,0 +1,210 @@
+#include "tle/tle.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace starlab::tle {
+
+namespace {
+
+/// Extract columns [begin, end) (0-based, end exclusive) with whitespace
+/// trimmed. TLE column specs in comments below use the conventional 1-based
+/// inclusive numbering.
+std::string field(const std::string& line, std::size_t begin, std::size_t end) {
+  if (line.size() < end) throw TleParseError("TLE line too short: " + line);
+  std::string f = line.substr(begin, end - begin);
+  const auto first = f.find_first_not_of(' ');
+  if (first == std::string::npos) return {};
+  const auto last = f.find_last_not_of(' ');
+  return f.substr(first, last - first + 1);
+}
+
+double to_double(const std::string& s, const char* what) {
+  if (s.empty()) return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    throw TleParseError(std::string("bad numeric TLE field (") + what + "): '" +
+                        s + "'");
+  }
+  return v;
+}
+
+int to_int(const std::string& s, const char* what) {
+  if (s.empty()) return 0;
+  return static_cast<int>(to_double(s, what));
+}
+
+}  // namespace
+
+int tle_checksum(const std::string& line) {
+  int sum = 0;
+  const std::size_t n = std::min<std::size_t>(line.size(), 68);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = line[i];
+    if (c >= '0' && c <= '9') sum += c - '0';
+    if (c == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+double decode_implied_exponent(const std::string& raw) {
+  // Layout: [sign][ddddd][esign][e]  e.g. " 12345-4" -> +0.12345e-4.
+  std::string f = raw;
+  // Normalize to 8 chars by left-padding (some writers drop the lead blank).
+  while (f.size() < 8) f.insert(f.begin(), ' ');
+
+  const std::string trimmed = [&] {
+    const auto first = f.find_first_not_of(' ');
+    return first == std::string::npos ? std::string{} : f.substr(first);
+  }();
+  if (trimmed.empty() || trimmed == "00000-0" || trimmed == "00000+0") {
+    return 0.0;
+  }
+
+  const double sign = (f[0] == '-') ? -1.0 : 1.0;
+  const std::string mantissa_digits = field(f, 1, 6);
+  const double mantissa = to_double(mantissa_digits, "implied mantissa") / 1e5;
+  const double exp_sign = (f[6] == '-') ? -1.0 : 1.0;
+  const double exponent = to_double(f.substr(7, 1), "implied exponent");
+  return sign * mantissa * std::pow(10.0, exp_sign * exponent);
+}
+
+std::string encode_implied_exponent(double value) {
+  if (value == 0.0) return " 00000+0";
+
+  const char sign = value < 0.0 ? '-' : ' ';
+  double mag = std::fabs(value);
+
+  // Find exponent e such that mantissa = mag / 10^e is in [0.1, 1).
+  int exp = 0;
+  while (mag >= 1.0) {
+    mag /= 10.0;
+    ++exp;
+  }
+  while (mag < 0.1) {
+    mag *= 10.0;
+    --exp;
+  }
+  int mantissa = static_cast<int>(std::lround(mag * 1e5));
+  if (mantissa == 100000) {  // rounding pushed us to 1.0
+    mantissa = 10000;
+    ++exp;
+  }
+
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%c%05d%c%1d", sign, mantissa,
+                exp < 0 ? '-' : '+', std::abs(exp) % 10);
+  return buf;
+}
+
+starlab::time::JulianDate Tle::epoch_jd() const {
+  using starlab::time::JulianDate;
+  const JulianDate jan1 =
+      JulianDate::from_calendar(epoch_year, 1, 1, 0, 0, 0.0);
+  return jan1.plus_days(epoch_day - 1.0);
+}
+
+Tle Tle::parse(const std::string& line1, const std::string& line2,
+               const std::string& name) {
+  if (line1.size() < 69) throw TleParseError("line 1 shorter than 69 chars");
+  if (line2.size() < 69) throw TleParseError("line 2 shorter than 69 chars");
+  if (line1[0] != '1') throw TleParseError("line 1 must start with '1'");
+  if (line2[0] != '2') throw TleParseError("line 2 must start with '2'");
+
+  const int check1 = line1[68] - '0';
+  if (tle_checksum(line1) != check1) {
+    throw TleParseError("line 1 checksum mismatch");
+  }
+  const int check2 = line2[68] - '0';
+  if (tle_checksum(line2) != check2) {
+    throw TleParseError("line 2 checksum mismatch");
+  }
+
+  Tle t;
+  t.name = name;
+
+  // Line 1. Columns (1-based): 3-7 satnum, 8 class, 10-17 intl designator,
+  // 19-20 epoch year, 21-32 epoch day, 34-43 ndot/2, 45-52 nddot/6,
+  // 54-61 bstar, 65-68 element set number.
+  t.norad_id = to_int(field(line1, 2, 7), "satnum");
+  t.classification = line1[7] == ' ' ? 'U' : line1[7];
+  t.intl_designator = field(line1, 9, 17);
+  const int yy = to_int(field(line1, 18, 20), "epoch year");
+  t.epoch_year = yy < 57 ? 2000 + yy : 1900 + yy;  // TLE convention
+  t.epoch_day = to_double(field(line1, 20, 32), "epoch day");
+  {
+    // ndot field has an implied leading "0": " .00001234".
+    std::string nd = field(line1, 33, 43);
+    t.ndot_over_2 = to_double(nd, "ndot");
+  }
+  t.nddot_over_6 = decode_implied_exponent(line1.substr(44, 8));
+  t.bstar = decode_implied_exponent(line1.substr(53, 8));
+  t.element_set_number = to_int(field(line1, 64, 68), "element set number");
+
+  // Line 2. Columns: 3-7 satnum, 9-16 inclination, 18-25 raan, 27-33 ecc
+  // (implied leading decimal point), 35-42 argp, 44-51 mean anomaly,
+  // 53-63 mean motion, 64-68 rev number.
+  const int satnum2 = to_int(field(line2, 2, 7), "satnum line2");
+  if (satnum2 != t.norad_id) {
+    throw TleParseError("catalog number differs between lines");
+  }
+  t.inclination_deg = to_double(field(line2, 8, 16), "inclination");
+  t.raan_deg = to_double(field(line2, 17, 25), "raan");
+  t.eccentricity = to_double(field(line2, 26, 33), "eccentricity") / 1e7;
+  t.arg_perigee_deg = to_double(field(line2, 34, 42), "arg perigee");
+  t.mean_anomaly_deg = to_double(field(line2, 43, 51), "mean anomaly");
+  t.mean_motion_rev_per_day = to_double(field(line2, 52, 63), "mean motion");
+  t.rev_number = to_int(field(line2, 63, 68), "rev number");
+
+  if (t.eccentricity < 0.0 || t.eccentricity >= 1.0) {
+    throw TleParseError("eccentricity out of range");
+  }
+  if (t.mean_motion_rev_per_day <= 0.0) {
+    throw TleParseError("non-positive mean motion");
+  }
+  return t;
+}
+
+std::string Tle::format_line1() const {
+  // ndot/2 field: sign + ".dddddddd" with implied leading zero.
+  char ndot_buf[16];
+  {
+    const double v = ndot_over_2;
+    char sign = v < 0.0 ? '-' : ' ';
+    std::snprintf(ndot_buf, sizeof(ndot_buf), "%c.%08d", sign,
+                  static_cast<int>(std::lround(std::fabs(v) * 1e8)));
+  }
+
+  char epoch_buf[24];
+  std::snprintf(epoch_buf, sizeof(epoch_buf), "%02d%012.8f", epoch_year % 100,
+                epoch_day);
+
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "1 %05d%c %-8s %s %s %s %s 0 %4d", norad_id,
+                classification, intl_designator.c_str(), epoch_buf, ndot_buf,
+                encode_implied_exponent(nddot_over_6).c_str(),
+                encode_implied_exponent(bstar).c_str(),
+                element_set_number % 10000);
+  std::string line(buf);
+  line.resize(68, ' ');
+  line.push_back(static_cast<char>('0' + tle_checksum(line)));
+  return line;
+}
+
+std::string Tle::format_line2() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+                norad_id, inclination_deg, raan_deg,
+                static_cast<int>(std::lround(eccentricity * 1e7)),
+                arg_perigee_deg, mean_anomaly_deg, mean_motion_rev_per_day,
+                rev_number % 100000);
+  std::string line(buf);
+  line.resize(68, ' ');
+  line.push_back(static_cast<char>('0' + tle_checksum(line)));
+  return line;
+}
+
+}  // namespace starlab::tle

@@ -1,0 +1,111 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace starlab::core {
+namespace {
+
+using starlab::testing::small_scenario;
+
+const CampaignData& hour_campaign() {
+  static const CampaignData data = [] {
+    CampaignConfig cfg;
+    cfg.duration_hours = 1.0;
+    return run_campaign(small_scenario(), cfg);
+  }();
+  return data;
+}
+
+TEST(Campaign, RecordsEverySlotForEveryTerminal) {
+  // 1 hour / 15 s == 240 slots x 4 terminals.
+  EXPECT_EQ(hour_campaign().slots.size(), 240u * 4u);
+  EXPECT_EQ(hour_campaign().terminal_names.size(), 4u);
+}
+
+TEST(Campaign, SlotsCarryConsistentMetadata) {
+  const auto& grid = small_scenario().grid();
+  for (const SlotObs& s : hour_campaign().slots) {
+    EXPECT_LT(s.terminal_index, 4u);
+    EXPECT_NEAR(s.unix_mid, grid.slot_mid(s.slot), 1e-9);
+    EXPECT_GE(s.local_hour, 0.0);
+    EXPECT_LT(s.local_hour, 24.0);
+  }
+}
+
+TEST(Campaign, MostSlotsHaveAChoice) {
+  std::size_t chosen = 0;
+  for (const SlotObs& s : hour_campaign().slots) {
+    if (s.has_choice()) ++chosen;
+  }
+  EXPECT_GT(static_cast<double>(chosen) / hour_campaign().slots.size(), 0.95);
+}
+
+TEST(Campaign, ChosenIndexValid) {
+  for (const SlotObs& s : hour_campaign().slots) {
+    if (!s.has_choice()) continue;
+    ASSERT_LT(static_cast<std::size_t>(s.chosen), s.available.size());
+    const CandidateObs& c = s.chosen_candidate();
+    EXPECT_GE(c.elevation_deg, 25.0);
+    EXPECT_LE(c.elevation_deg, 90.0);
+  }
+}
+
+TEST(Campaign, ChoiceAgreesWithOracle) {
+  // The campaign's recorded pick must equal a fresh oracle call.
+  int checked = 0;
+  for (const SlotObs& s : hour_campaign().slots) {
+    if (!s.has_choice() || s.terminal_index != 0 || checked >= 10) continue;
+    const auto alloc = small_scenario().global_scheduler().allocate(
+        small_scenario().terminal(0), s.slot);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->norad_id, s.chosen_candidate().norad_id);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10);
+}
+
+TEST(Campaign, AvailableSetsAreUsableOnly) {
+  // Ithaca's NW tree sector must never contribute an available candidate
+  // below the treeline.
+  for (const SlotObs* s : hour_campaign().for_terminal(1)) {
+    for (const CandidateObs& c : s->available) {
+      if (c.azimuth_deg >= 270.0) {
+        EXPECT_GE(c.elevation_deg, 70.0);
+      }
+    }
+  }
+}
+
+TEST(Campaign, ForTerminalFilters) {
+  const auto iowa_slots = hour_campaign().for_terminal(0);
+  EXPECT_EQ(iowa_slots.size(), 240u);
+  for (const SlotObs* s : iowa_slots) {
+    EXPECT_EQ(s->terminal_index, 0u);
+  }
+}
+
+TEST(Campaign, StrideSubsamples) {
+  CampaignConfig cfg;
+  cfg.duration_hours = 0.5;
+  cfg.slot_stride = 4;
+  const CampaignData data = run_campaign(small_scenario(), cfg);
+  EXPECT_EQ(data.slots.size(), 30u * 4u);
+}
+
+TEST(Campaign, AvailableCountsRoughlyConstellationScaled) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const SlotObs& s : hour_campaign().slots) {
+    total += static_cast<double>(s.available.size());
+    ++n;
+  }
+  const double mean_available = total / static_cast<double>(n);
+  // Paper: ~40 at full scale; 1/4 scale minus GSO exclusion -> a handful.
+  EXPECT_GT(mean_available, 2.0);
+  EXPECT_LT(mean_available, 25.0);
+}
+
+}  // namespace
+}  // namespace starlab::core

@@ -1,0 +1,101 @@
+#include "io/campaign_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/characterizer.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab::io {
+namespace {
+
+core::CampaignData sample_campaign() {
+  core::CampaignConfig cfg;
+  cfg.duration_hours = 0.25;
+  return core::run_campaign(starlab::testing::small_scenario(), cfg);
+}
+
+TEST(CampaignIo, RoundTripPreservesStructure) {
+  const core::CampaignData original = sample_campaign();
+  std::stringstream buffer;
+  save_campaign(buffer, original);
+  const core::CampaignData loaded = load_campaign(buffer);
+
+  ASSERT_EQ(loaded.slots.size(), original.slots.size());
+  ASSERT_EQ(loaded.terminal_names.size(), original.terminal_names.size());
+  for (std::size_t t = 0; t < loaded.terminal_names.size(); ++t) {
+    EXPECT_EQ(loaded.terminal_names[t], original.terminal_names[t]);
+  }
+  for (std::size_t i = 0; i < loaded.slots.size(); ++i) {
+    const core::SlotObs& a = original.slots[i];
+    const core::SlotObs& b = loaded.slots[i];
+    EXPECT_EQ(b.slot, a.slot);
+    EXPECT_EQ(b.terminal_index, a.terminal_index);
+    EXPECT_NEAR(b.unix_mid, a.unix_mid, 1e-3);
+    EXPECT_NEAR(b.local_hour, a.local_hour, 1e-4);
+    ASSERT_EQ(b.available.size(), a.available.size());
+    EXPECT_EQ(b.chosen, a.chosen);
+    for (std::size_t c = 0; c < b.available.size(); ++c) {
+      EXPECT_EQ(b.available[c].norad_id, a.available[c].norad_id);
+      EXPECT_NEAR(b.available[c].azimuth_deg, a.available[c].azimuth_deg, 1e-3);
+      EXPECT_NEAR(b.available[c].elevation_deg, a.available[c].elevation_deg,
+                  1e-3);
+      EXPECT_EQ(b.available[c].sunlit, a.available[c].sunlit);
+    }
+  }
+}
+
+TEST(CampaignIo, RoundTripFeedsCharacterizerIdentically) {
+  const core::CampaignData original = sample_campaign();
+  std::stringstream buffer;
+  save_campaign(buffer, original);
+  const core::CampaignData loaded = load_campaign(buffer);
+
+  const auto& catalog = starlab::testing::small_scenario().catalog();
+  const core::SchedulerCharacterizer ch_a(original, catalog);
+  const core::SchedulerCharacterizer ch_b(loaded, catalog);
+  EXPECT_NEAR(ch_a.aoe_stats(0).median_gap_deg,
+              ch_b.aoe_stats(0).median_gap_deg, 1e-3);
+  EXPECT_NEAR(ch_a.azimuth_stats(0).north_share_chosen,
+              ch_b.azimuth_stats(0).north_share_chosen, 1e-9);
+}
+
+TEST(CampaignIo, EmptySlotSurvives) {
+  core::CampaignData data;
+  data.terminal_names = {"Iowa"};
+  core::SlotObs empty;
+  empty.slot = 42;
+  empty.terminal_index = 0;
+  empty.unix_mid = 1234.5;
+  empty.local_hour = 7.25;
+  data.slots.push_back(empty);
+
+  std::stringstream buffer;
+  save_campaign(buffer, data);
+  const core::CampaignData loaded = load_campaign(buffer);
+  ASSERT_EQ(loaded.slots.size(), 1u);
+  EXPECT_EQ(loaded.slots[0].slot, 42);
+  EXPECT_TRUE(loaded.slots[0].available.empty());
+  EXPECT_FALSE(loaded.slots[0].has_choice());
+}
+
+TEST(CampaignIo, RejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)load_campaign(empty), std::runtime_error);
+  std::istringstream wrong_header("a,b,c\n1,2,3\n");
+  EXPECT_THROW((void)load_campaign(wrong_header), std::runtime_error);
+}
+
+TEST(CampaignIo, FileRoundTrip) {
+  const core::CampaignData original = sample_campaign();
+  const std::string path = ::testing::TempDir() + "/starlab_campaign.csv";
+  save_campaign_file(path, original);
+  const core::CampaignData loaded = load_campaign_file(path);
+  EXPECT_EQ(loaded.slots.size(), original.slots.size());
+  EXPECT_THROW((void)load_campaign_file("/no/such/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace starlab::io

@@ -1,0 +1,126 @@
+#include "constellation/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace starlab::constellation {
+namespace {
+
+const geo::Geodetic kIowa{41.661, -91.530, 0.22};
+
+const Catalog& cat() { return starlab::testing::small_scenario().catalog(); }
+
+time::JulianDate epoch_jd() {
+  return time::JulianDate::from_unix_seconds(
+      starlab::testing::small_scenario().epoch_unix());
+}
+
+TEST(Catalog, SizeMatchesConstellation) {
+  EXPECT_GT(cat().size(), 900u);  // 4236 * 0.25 ~ 1059
+  EXPECT_LT(cat().size(), 1200u);
+}
+
+TEST(Catalog, IndexOfFindsEverySatellite) {
+  const auto& records = cat().records();
+  for (std::size_t i = 0; i < records.size(); i += 97) {
+    const auto idx = cat().index_of(records[i].tle.norad_id);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_FALSE(cat().index_of(-1).has_value());
+}
+
+TEST(Catalog, VisibleFromReturnsPlausibleCount) {
+  const auto visible = cat().visible_from(kIowa, epoch_jd());
+  // Paper: ~40 in view at full scale; at 1/4 scale expect ~10 (wide margin).
+  EXPECT_GT(visible.size(), 2u);
+  EXPECT_LT(visible.size(), 40u);
+}
+
+TEST(Catalog, VisibleEntriesRespectElevationFloor) {
+  for (const SkyEntry& e : cat().visible_from(kIowa, epoch_jd(), 25.0)) {
+    EXPECT_GE(e.look.elevation_deg, 25.0);
+    EXPECT_LE(e.look.elevation_deg, 90.0);
+    EXPECT_GE(e.look.azimuth_deg, 0.0);
+    EXPECT_LT(e.look.azimuth_deg, 360.0);
+  }
+}
+
+TEST(Catalog, LowerFloorSeesMore) {
+  const auto at25 = cat().visible_from(kIowa, epoch_jd(), 25.0);
+  const auto at40 = cat().visible_from(kIowa, epoch_jd(), 40.0);
+  EXPECT_GE(at25.size(), at40.size());
+}
+
+TEST(Catalog, VisibleRangesAreLeoSlant) {
+  for (const SkyEntry& e : cat().visible_from(kIowa, epoch_jd())) {
+    EXPECT_GT(e.look.range_km, 500.0);
+    EXPECT_LT(e.look.range_km, 1500.0);
+  }
+}
+
+TEST(Catalog, AgesAreNonNegativeAndBounded) {
+  const double unix_sec = epoch_jd().to_unix_seconds();
+  for (const SkyEntry& e : cat().visible_from(kIowa, epoch_jd())) {
+    (void)unix_sec;
+    EXPECT_GE(e.age_days, 0.0);
+    EXPECT_LT(e.age_days, 5.0 * 365.0);  // ledger spans 2019-2023
+  }
+}
+
+TEST(Catalog, SnapshotsMatchDirectQuery) {
+  const auto jd = epoch_jd();
+  const auto snaps = cat().propagate_all(jd);
+  ASSERT_EQ(snaps.size(), cat().size());
+
+  const auto direct = cat().visible_from(kIowa, jd);
+  const auto via_snaps = cat().visible_from_snapshots(snaps, kIowa, jd);
+  ASSERT_EQ(direct.size(), via_snaps.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].norad_id, via_snaps[i].norad_id);
+    EXPECT_NEAR(direct[i].look.elevation_deg, via_snaps[i].look.elevation_deg,
+                1e-9);
+    EXPECT_EQ(direct[i].sunlit, via_snaps[i].sunlit);
+  }
+}
+
+TEST(Catalog, VisibilityChangesOverTime) {
+  const auto now = cat().visible_from(kIowa, epoch_jd());
+  const auto later = cat().visible_from(kIowa, epoch_jd().plus_seconds(600.0));
+  // LEO passes last a few minutes: 10 minutes on, the set must differ.
+  std::set<int> a, b;
+  for (const auto& e : now) a.insert(e.norad_id);
+  for (const auto& e : later) b.insert(e.norad_id);
+  EXPECT_NE(a, b);
+}
+
+TEST(Catalog, FromTlesReconstructsLaunchMetadata) {
+  // Build a catalog from bare TLE text and check launch labels exist.
+  std::vector<tle::Tle> tles;
+  for (std::size_t i = 0; i < 20; ++i) {
+    tles.push_back(cat().record(i).tle);
+  }
+  const Catalog rebuilt(tles);
+  EXPECT_EQ(rebuilt.size(), 20u);
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_FALSE(rebuilt.record(i).launch_label.empty());
+    EXPECT_GE(rebuilt.record(i).launch_date.year, 2019);
+    EXPECT_LE(rebuilt.record(i).launch_date.year, 2023);
+  }
+  EXPECT_FALSE(rebuilt.launches().empty());
+}
+
+TEST(Catalog, LookAtAgreesWithVisibleFrom) {
+  const auto jd = epoch_jd();
+  for (const SkyEntry& e : cat().visible_from(kIowa, jd)) {
+    const geo::LookAngles la = cat().look_at(e.catalog_index, kIowa, jd);
+    EXPECT_NEAR(la.elevation_deg, e.look.elevation_deg, 1e-9);
+    EXPECT_NEAR(la.azimuth_deg, e.look.azimuth_deg, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace starlab::constellation

@@ -1,0 +1,161 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace starlab::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2-d.
+Dataset blobs(int n_per_class, unsigned seed, double separation = 4.0) {
+  Dataset d(2, {"x", "y"}, {"left", "right"});
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < n_per_class; ++i) {
+    d.add_row(std::vector<double>{noise(rng), noise(rng)}, 0);
+    d.add_row(std::vector<double>{separation + noise(rng), noise(rng)}, 1);
+  }
+  return d;
+}
+
+/// XOR pattern: not linearly separable, needs depth >= 2.
+Dataset xor_data(int n, unsigned seed) {
+  Dataset d(2, {"x", "y"}, {"zero", "one"});
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = u(rng), y = u(rng);
+    const int label = (x > 0.5) != (y > 0.5) ? 1 : 0;
+    d.add_row(std::vector<double>{x, y}, label);
+  }
+  return d;
+}
+
+TEST(DecisionTree, SeparatesBlobs) {
+  const Dataset d = blobs(100, 1);
+  std::mt19937_64 rng(2);
+  DecisionTree tree;
+  tree.fit(d, rng);
+
+  EXPECT_EQ(tree.predict(std::vector<double>{-1.0, 0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0, 0.0}), 1);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  const Dataset d = xor_data(400, 3);
+  std::mt19937_64 rng(4);
+  DecisionTree tree;
+  tree.fit(d, rng);
+
+  EXPECT_EQ(tree.predict(std::vector<double>{0.1, 0.1}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.9, 0.9}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.1, 0.9}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.9, 0.1}), 1);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  const Dataset d = xor_data(200, 5);
+  std::mt19937_64 rng(6);
+  DecisionTree tree;
+  tree.fit(d, rng);
+  for (double x = 0.05; x < 1.0; x += 0.3) {
+    for (double y = 0.05; y < 1.0; y += 0.3) {
+      const auto p = tree.predict_proba(std::vector<double>{x, y});
+      double sum = 0.0;
+      for (const double v : p) sum += v;
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset d(1, {}, {"only"});
+  for (int i = 0; i < 50; ++i) d.add_row(std::vector<double>{static_cast<double>(i)}, 0);
+  std::mt19937_64 rng(7);
+  DecisionTree tree;
+  tree.fit(d, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 1);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  const Dataset d = xor_data(500, 8);
+  std::mt19937_64 rng(9);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  tree.fit(d, rng);
+  EXPECT_LE(tree.depth(), 4);  // depth counts nodes, max_depth counts splits
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  // With min_samples_leaf == n/2, at most one split is possible.
+  const Dataset d = blobs(20, 10);
+  std::mt19937_64 rng(11);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 20;
+  DecisionTree tree(cfg);
+  tree.fit(d, rng);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, TrainingAccuracyHighOnSeparableData) {
+  const Dataset d = blobs(150, 12);
+  std::mt19937_64 rng(13);
+  DecisionTree tree;
+  tree.fit(d, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (tree.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.size(), 0.97);
+}
+
+TEST(DecisionTree, ImportanceConcentratesOnInformativeFeature) {
+  // Feature 0 fully determines the label; feature 1 is noise.
+  Dataset d(2, {"signal", "noise"}, {"a", "b"});
+  std::mt19937 rng(14);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 300; ++i) {
+    const double x = u(rng);
+    d.add_row(std::vector<double>{x, u(rng)}, x > 0.5 ? 1 : 0);
+  }
+  std::mt19937_64 fit_rng(15);
+  DecisionTree tree;
+  tree.fit(d, fit_rng);
+  const auto& imp = tree.impurity_decrease();
+  EXPECT_GT(imp[0], 10.0 * (imp[1] + 1e-12));
+}
+
+TEST(DecisionTree, EmptyFitYieldsUniformLeaf) {
+  Dataset d(1, {}, {"a", "b"});
+  d.add_row(std::vector<double>{0.0}, 0);  // classes known, but fit on nothing
+  std::mt19937_64 rng(16);
+  DecisionTree tree;
+  tree.fit(d, std::vector<std::size_t>{}, rng);
+  const auto p = tree.predict_proba(std::vector<double>{0.0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+}
+
+TEST(DecisionTree, BootstrapIndicesWithMultiplicity) {
+  const Dataset d = blobs(50, 17);
+  // A bootstrap that repeats only class-0 rows must predict class 0
+  // everywhere.
+  std::vector<std::size_t> only_zero;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.label(i) == 0) {
+      only_zero.push_back(i);
+      only_zero.push_back(i);
+    }
+  }
+  std::mt19937_64 rng(18);
+  DecisionTree tree;
+  tree.fit(d, only_zero, rng);
+  EXPECT_EQ(tree.predict(std::vector<double>{4.0, 0.0}), 0);
+}
+
+}  // namespace
+}  // namespace starlab::ml

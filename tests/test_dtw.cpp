@@ -1,0 +1,128 @@
+#include "match/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace starlab::match {
+namespace {
+
+std::vector<Point2> line(double x0, double y0, double x1, double y1, int n) {
+  std::vector<Point2> out;
+  for (int i = 0; i < n; ++i) {
+    const double t = n == 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+    out.push_back({x0 + (x1 - x0) * t, y0 + (y1 - y0) * t});
+  }
+  return out;
+}
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  const auto a = line(0, 0, 10, 10, 20);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(dtw_distance_normalized(a, a), 0.0);
+}
+
+TEST(Dtw, EmptyInputIsInfinite) {
+  const auto a = line(0, 0, 1, 1, 5);
+  const std::vector<Point2> empty;
+  EXPECT_GE(dtw_distance(a, empty), 1e299);
+  EXPECT_GE(dtw_distance(empty, a), 1e299);
+}
+
+TEST(Dtw, SingletonPair) {
+  const std::vector<Point2> a{{0.0, 0.0}};
+  const std::vector<Point2> b{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), 25.0);  // squared Euclidean
+}
+
+TEST(Dtw, TimeWarpInvariance) {
+  // The same path sampled at different densities scores far below a
+  // genuinely different path (DTW matches samples, it does not interpolate,
+  // so resampling cost is bounded by the sparse spacing).
+  const auto sparse = line(0, 0, 10, 0, 6);
+  const auto dense = line(0, 0, 10, 0, 60);
+  const auto other = line(0, 3, 10, 3, 60);
+  const double resampled = dtw_distance_normalized(sparse, dense);
+  EXPECT_LT(resampled, 0.5);  // within half the sparse spacing squared
+  EXPECT_LT(resampled, 0.2 * dtw_distance_normalized(sparse, other));
+}
+
+TEST(Dtw, SeparatedPathsScoreTheirGap) {
+  const auto a = line(0, 0, 10, 0, 20);
+  const auto b = line(0, 5, 10, 5, 20);  // parallel, 5 away
+  // Every match costs 25; normalized by (20+20).
+  const double d = dtw_distance_normalized(a, b);
+  EXPECT_GT(d, 25.0 * 20 / 40.0 * 0.8);
+  EXPECT_LT(d, 25.0 * 20 / 40.0 * 1.2);
+}
+
+TEST(Dtw, DiscriminatesNearFromFar) {
+  const auto truth = line(0, 0, 10, 10, 30);
+  const auto close = line(0.5, 0.0, 10.5, 10.0, 30);
+  const auto far = line(0, 10, 10, 0, 30);  // crossing diagonal
+  EXPECT_LT(dtw_distance(truth, close), dtw_distance(truth, far));
+}
+
+TEST(Dtw, SymmetricForEqualLengths) {
+  const auto a = line(0, 0, 7, 3, 25);
+  const auto b = line(1, 1, 6, 8, 25);
+  EXPECT_NEAR(dtw_distance(a, b), dtw_distance(b, a), 1e-9);
+}
+
+TEST(Dtw, BandedEqualsFullWhenBandCoversGrid) {
+  const auto a = line(0, 0, 10, 4, 18);
+  const auto b = line(0, 1, 10, 5, 24);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b, 50), dtw_distance(a, b, -1));
+}
+
+TEST(Dtw, NarrowBandIsUpperBoundOfFull) {
+  const auto a = line(0, 0, 10, 4, 30);
+  const auto b = line(0, 1, 10, 5, 30);
+  const double full = dtw_distance(a, b, -1);
+  const double banded = dtw_distance(a, b, 3);
+  EXPECT_GE(banded, full - 1e-12);
+  EXPECT_LT(banded, 1e299);  // feasible
+}
+
+TEST(Dtw, BandHandlesUnequalLengths) {
+  // The slope-normalized band must keep the corner reachable.
+  const auto a = line(0, 0, 10, 0, 10);
+  const auto b = line(0, 0, 10, 0, 40);
+  const double d = dtw_distance(a, b, 4);
+  EXPECT_LT(d, 1e299);  // feasible despite the 1:4 length ratio
+  // Matching each dense sample to its nearest sparse sample costs at most
+  // (spacing/2)^2 each.
+  EXPECT_LT(d, 40.0 * 0.31);
+}
+
+TEST(Dtw, LocalCostIsSquaredEuclidean) {
+  EXPECT_DOUBLE_EQ(local_cost({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(local_cost({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Dtw, ReversalIsPenalized) {
+  // A path against its reversal scores much worse than against itself —
+  // why the identifier tries both directions.
+  const auto a = line(0, 0, 10, 10, 30);
+  const std::vector<Point2> rev(a.rbegin(), a.rend());
+  EXPECT_GT(dtw_distance(a, rev), 100.0);
+}
+
+// Parameterized noise sweep: DTW distance grows monotonically-ish with
+// displacement magnitude.
+class DtwDisplacement : public ::testing::TestWithParam<double> {};
+
+TEST_P(DtwDisplacement, DistanceTracksOffset) {
+  const double off = GetParam();
+  const auto a = line(0, 0, 20, 0, 40);
+  const auto b = line(0, off, 20, off, 40);
+  const double d = dtw_distance_normalized(a, b);
+  EXPECT_NEAR(d, off * off / 2.0, off * off / 2.0 * 0.3 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, DtwDisplacement,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace starlab::match

@@ -1,0 +1,90 @@
+#include "sgp4/ephemeris.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/wgs.hpp"
+
+namespace starlab::sgp4 {
+namespace {
+
+tle::Tle polar_sat() {
+  tle::Tle t;
+  t.norad_id = 99001;
+  t.intl_designator = "23001A";
+  t.epoch_year = 2023;
+  t.epoch_day = 152.0;
+  t.inclination_deg = 97.6;
+  t.raan_deg = 0.0;
+  t.eccentricity = 0.0001;
+  t.arg_perigee_deg = 0.0;
+  t.mean_anomaly_deg = 0.0;
+  t.mean_motion_rev_per_day = 14.93;  // ~560 km
+  t.bstar = 1e-4;
+  return t;
+}
+
+TEST(Ephemeris, SubpointAltitudeIsOrbitAltitude) {
+  const Ephemeris eph(polar_sat());
+  const time::JulianDate jd = polar_sat().epoch_jd();
+  const geo::Geodetic sp = eph.subpoint(jd);
+  EXPECT_NEAR(sp.height_km, 570.0, 40.0);
+}
+
+TEST(Ephemeris, PolarOrbitCoversHighLatitudes) {
+  const Ephemeris eph(polar_sat());
+  const time::JulianDate jd0 = polar_sat().epoch_jd();
+  double max_lat = -90.0, min_lat = 90.0;
+  for (double s = 0.0; s < 96.5 * 60.0; s += 30.0) {
+    const geo::Geodetic sp = eph.subpoint(jd0.plus_seconds(s));
+    max_lat = std::max(max_lat, sp.latitude_deg);
+    min_lat = std::min(min_lat, sp.latitude_deg);
+  }
+  EXPECT_GT(max_lat, 80.0);
+  EXPECT_LT(min_lat, -80.0);
+}
+
+TEST(Ephemeris, InclinationBoundsSubpointLatitude) {
+  tle::Tle t = polar_sat();
+  t.inclination_deg = 53.0;
+  t.mean_motion_rev_per_day = 15.06;
+  const Ephemeris eph(t);
+  const time::JulianDate jd0 = t.epoch_jd();
+  for (double s = 0.0; s < 2.0 * 95.6 * 60.0; s += 45.0) {
+    const geo::Geodetic sp = eph.subpoint(jd0.plus_seconds(s));
+    EXPECT_LE(std::fabs(sp.latitude_deg), 53.5) << "s=" << s;
+  }
+}
+
+TEST(Ephemeris, LookFromSubpointIsZenith) {
+  const Ephemeris eph(polar_sat());
+  const time::JulianDate jd = polar_sat().epoch_jd().plus_seconds(1234.0);
+  geo::Geodetic below = eph.subpoint(jd);
+  below.height_km = 0.0;
+  const geo::LookAngles la = eph.look_from(below, jd);
+  EXPECT_GT(la.elevation_deg, 89.0);
+  EXPECT_NEAR(la.range_km, 570.0, 45.0);
+}
+
+TEST(Ephemeris, LookFromFarAwayIsBelowHorizon) {
+  const Ephemeris eph(polar_sat());
+  const time::JulianDate jd = polar_sat().epoch_jd();
+  const geo::Geodetic sp = eph.subpoint(jd);
+  // The antipode can never see the satellite.
+  const geo::Geodetic antipode{-sp.latitude_deg,
+                               sp.longitude_deg > 0 ? sp.longitude_deg - 180.0
+                                                    : sp.longitude_deg + 180.0,
+                               0.0};
+  EXPECT_LT(eph.look_from(antipode, jd).elevation_deg, 0.0);
+}
+
+TEST(Ephemeris, EcefPositionConsistentWithTeme) {
+  const Ephemeris eph(polar_sat());
+  const time::JulianDate jd = polar_sat().epoch_jd().plus_seconds(300.0);
+  EXPECT_NEAR(eph.position_ecef(jd).norm(), eph.state_teme(jd).position_km.norm(),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace starlab::sgp4

@@ -1,0 +1,80 @@
+#include "geo/geodetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/wgs.hpp"
+
+namespace starlab::geo {
+namespace {
+
+TEST(Geodetic, EquatorPrimeMeridian) {
+  const Vec3 p = geodetic_to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(p.x, kWgs84.radius_km, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(Geodetic, NorthPoleUsesPolarRadius) {
+  const Vec3 p = geodetic_to_ecef({90.0, 0.0, 0.0});
+  const double polar_radius = kWgs84.radius_km * (1.0 - kWgs84.flattening);
+  EXPECT_NEAR(p.z, polar_radius, 1e-6);
+  EXPECT_NEAR(std::hypot(p.x, p.y), 0.0, 1e-6);
+}
+
+TEST(Geodetic, EastLongitudeIsPositiveY) {
+  const Vec3 p = geodetic_to_ecef({0.0, 90.0, 0.0});
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+  EXPECT_NEAR(p.y, kWgs84.radius_km, 1e-6);
+}
+
+TEST(Geodetic, HeightAddsAlongNormal) {
+  const Vec3 ground = geodetic_to_ecef({0.0, 0.0, 0.0});
+  const Vec3 raised = geodetic_to_ecef({0.0, 0.0, 550.0});
+  EXPECT_NEAR((raised - ground).norm(), 550.0, 1e-6);
+}
+
+// Round-trip property across the globe and LEO/GSO altitudes.
+struct RoundTripCase {
+  double lat, lon, h;
+};
+
+class GeodeticRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(GeodeticRoundTrip, EcefInverts) {
+  const auto [lat, lon, h] = GetParam();
+  const Geodetic g{lat, lon, h};
+  const Geodetic back = ecef_to_geodetic(geodetic_to_ecef(g));
+  EXPECT_NEAR(back.latitude_deg, lat, 1e-8);
+  EXPECT_NEAR(back.longitude_deg, lon, 1e-8);
+  EXPECT_NEAR(back.height_km, h, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Globe, GeodeticRoundTrip,
+    ::testing::Values(RoundTripCase{41.661, -91.530, 0.22},   // Iowa
+                      RoundTripCase{42.444, -76.500, 0.25},   // Ithaca
+                      RoundTripCase{40.417, -3.704, 0.65},    // Madrid
+                      RoundTripCase{47.606, -122.332, 0.05},  // Seattle
+                      RoundTripCase{-33.9, 151.2, 0.1},       // Sydney
+                      RoundTripCase{0.0, 179.9, 550.0},       // LEO, dateline
+                      RoundTripCase{51.5, -0.1, 550.0},       // LEO
+                      RoundTripCase{78.2, 15.6, 0.0},         // Svalbard
+                      RoundTripCase{-89.0, 0.0, 0.0},         // near pole
+                      RoundTripCase{10.0, 20.0, 35786.0}));   // GSO altitude
+
+TEST(Geodetic, SurfacePointsLieOnEllipsoid) {
+  // (x/a)^2 + (y/a)^2 + (z/b)^2 == 1 for h == 0.
+  const double a = kWgs84.radius_km;
+  const double b = a * (1.0 - kWgs84.flattening);
+  for (double lat = -80.0; lat <= 80.0; lat += 20.0) {
+    const Vec3 p = geodetic_to_ecef({lat, 45.0, 0.0});
+    const double lhs =
+        (p.x * p.x + p.y * p.y) / (a * a) + p.z * p.z / (b * b);
+    EXPECT_NEAR(lhs, 1.0, 1e-12) << "lat " << lat;
+  }
+}
+
+}  // namespace
+}  // namespace starlab::geo

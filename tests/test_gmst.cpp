@@ -1,0 +1,70 @@
+#include "time/gmst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numbers>
+
+#include "time/utc_time.hpp"
+
+namespace starlab::time {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Gmst, VallodoTextbookValue) {
+  // Vallado example 3-5: 1992 Aug 20 12:14 UT1 -> GMST 152.578787886 deg.
+  const JulianDate jd = JulianDate::from_calendar(1992, 8, 20, 12, 14, 0.0);
+  const double gmst_deg = gmst_radians(jd) * 180.0 / std::numbers::pi;
+  EXPECT_NEAR(gmst_deg, 152.578787886, 1e-6);
+}
+
+TEST(Gmst, AlwaysInRange) {
+  for (int d = 0; d < 400; d += 7) {
+    const JulianDate jd = JulianDate::from_calendar(2023, 1, 1, 3, 0, 0.0)
+                              .plus_days(static_cast<double>(d));
+    const double g = gmst_radians(jd);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LT(g, kTwoPi);
+  }
+}
+
+TEST(Gmst, AdvancesBySiderealRate) {
+  // Over one solar day GMST advances ~360.9856 deg, i.e. wraps once and
+  // gains ~0.9856 deg.
+  const JulianDate jd0 = JulianDate::from_calendar(2023, 6, 1, 0, 0, 0.0);
+  const JulianDate jd1 = jd0.plus_days(1.0);
+  double delta = gmst_radians(jd1) - gmst_radians(jd0);
+  if (delta < 0.0) delta += kTwoPi;
+  EXPECT_NEAR(delta * 180.0 / std::numbers::pi, 0.9856, 5e-3);
+}
+
+TEST(Gmst, SiderealDayShorterThanSolarDay) {
+  // After 23h56m04.1s GMST should return to (nearly) the same value.
+  const JulianDate jd0 = JulianDate::from_calendar(2023, 6, 1, 0, 0, 0.0);
+  const JulianDate jd1 = jd0.plus_seconds(86164.0905);
+  double delta = std::fabs(gmst_radians(jd1) - gmst_radians(jd0));
+  if (delta > std::numbers::pi) delta = kTwoPi - delta;
+  EXPECT_LT(delta * 180.0 / std::numbers::pi, 0.01);
+}
+
+TEST(Gmst, MonotonicOverMinutes) {
+  // Within a few minutes (no wrap), GMST increases strictly.
+  const JulianDate base = JulianDate::from_calendar(2023, 6, 1, 1, 0, 0.0);
+  double prev = gmst_radians(base);
+  bool wrapped = false;
+  for (int m = 1; m <= 30; ++m) {
+    const double g = gmst_radians(base.plus_seconds(m * 60.0));
+    if (g < prev) {
+      wrapped = true;  // allowed at most once
+    } else {
+      EXPECT_GT(g, prev);
+    }
+    prev = g;
+  }
+  EXPECT_FALSE(wrapped && prev > 1.0);  // a wrap puts us near 0
+}
+
+}  // namespace
+}  // namespace starlab::time

@@ -1,0 +1,75 @@
+#include "ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace starlab::ml {
+namespace {
+
+Dataset blobs2(int n_per_class, unsigned seed) {
+  Dataset d(2, {"x", "y"}, {"a", "b"});
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < n_per_class; ++i) {
+    d.add_row(std::vector<double>{noise(rng), noise(rng)}, 0);
+    d.add_row(std::vector<double>{4.0 + noise(rng), noise(rng)}, 1);
+  }
+  return d;
+}
+
+TEST(CrossValidate, HighOnSeparableData) {
+  const Dataset d = blobs2(60, 1);
+  ForestConfig cfg;
+  cfg.num_trees = 15;
+  const double acc = cross_validate(d, cfg, 5, 7);
+  EXPECT_GT(acc, 0.9);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(CrossValidate, DeterministicForSeed) {
+  const Dataset d = blobs2(40, 2);
+  ForestConfig cfg;
+  cfg.num_trees = 10;
+  EXPECT_DOUBLE_EQ(cross_validate(d, cfg, 5, 9), cross_validate(d, cfg, 5, 9));
+}
+
+TEST(GridSearch, EvaluatesFullGrid) {
+  const Dataset d = blobs2(30, 3);
+  GridSearchSpace space;
+  space.num_trees = {5, 10};
+  space.max_depth = {4, 8};
+  space.min_samples_leaf = {1, 2};
+  const GridSearchResult r = grid_search(d, space, {3, 11});
+  EXPECT_EQ(r.all.size(), 8u);
+  EXPECT_GT(r.best_cv_accuracy, 0.85);
+}
+
+TEST(GridSearch, BestIsArgmaxOfAll) {
+  const Dataset d = blobs2(30, 4);
+  GridSearchSpace space;
+  space.num_trees = {5};
+  space.max_depth = {2, 10};
+  space.min_samples_leaf = {1};
+  const GridSearchResult r = grid_search(d, space, {3, 13});
+  double best = 0.0;
+  for (const auto& [cfg, acc] : r.all) best = std::max(best, acc);
+  EXPECT_DOUBLE_EQ(r.best_cv_accuracy, best);
+}
+
+TEST(GridSearch, BestConfigComesFromSpace) {
+  const Dataset d = blobs2(25, 5);
+  GridSearchSpace space;
+  space.num_trees = {4, 6};
+  space.max_depth = {3, 5};
+  space.min_samples_leaf = {2};
+  const GridSearchResult r = grid_search(d, space, {3, 17});
+  EXPECT_TRUE(r.best_config.num_trees == 4 || r.best_config.num_trees == 6);
+  EXPECT_TRUE(r.best_config.tree.max_depth == 3 ||
+              r.best_config.tree.max_depth == 5);
+  EXPECT_EQ(r.best_config.tree.min_samples_leaf, 2);
+}
+
+}  // namespace
+}  // namespace starlab::ml

@@ -1,0 +1,89 @@
+#include "geo/gso_arc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace starlab::geo {
+namespace {
+
+const Geodetic kIowa{41.661, -91.530, 0.22};
+
+TEST(GsoArc, CulminatesDueSouthFromNorthernHemisphere) {
+  const GsoArc arc(kIowa);
+  ASSERT_FALSE(arc.samples().empty());
+
+  // Find the highest sample; it should sit near azimuth 180.
+  const LookAngles* best = &arc.samples().front();
+  for (const LookAngles& s : arc.samples()) {
+    if (s.elevation_deg > best->elevation_deg) best = &s;
+  }
+  EXPECT_LT(angular_difference_deg(best->azimuth_deg, 180.0), 3.0);
+  // At 41.7 degN the GSO culmination is ~41 deg elevation.
+  EXPECT_NEAR(best->elevation_deg, 41.0, 3.0);
+}
+
+TEST(GsoArc, SouthernHemisphereSeesArcToTheNorth) {
+  const Geodetic sydney{-33.9, 151.2, 0.0};
+  const GsoArc arc(sydney);
+  const LookAngles* best = &arc.samples().front();
+  for (const LookAngles& s : arc.samples()) {
+    if (s.elevation_deg > best->elevation_deg) best = &s;
+  }
+  EXPECT_LT(angular_difference_deg(best->azimuth_deg, 0.0), 3.0);
+}
+
+TEST(GsoArc, NorthSkyFarFromArc) {
+  const GsoArc arc(kIowa);
+  // Looking due north at 60 deg elevation is far from the southern arc.
+  EXPECT_GT(arc.separation_deg(0.0, 60.0), 60.0);
+  EXPECT_FALSE(arc.excluded(0.0, 60.0, 18.0));
+}
+
+TEST(GsoArc, PointsOnArcAreExcluded) {
+  const GsoArc arc(kIowa);
+  for (std::size_t i = 0; i < arc.samples().size(); i += 25) {
+    const LookAngles& s = arc.samples()[i];
+    if (s.elevation_deg < 0.0) continue;
+    EXPECT_LT(arc.separation_deg(s.azimuth_deg, s.elevation_deg), 0.6);
+    EXPECT_TRUE(arc.excluded(s.azimuth_deg, s.elevation_deg, 18.0));
+  }
+}
+
+TEST(GsoArc, ExclusionShrinksWithProtectionAngle) {
+  const GsoArc arc(kIowa);
+  // A point ~10 deg above the arc's culmination.
+  const double az = 180.0;
+  const double el = arc.max_elevation_deg() + 10.0;
+  EXPECT_TRUE(arc.excluded(az, el, 18.0));
+  EXPECT_FALSE(arc.excluded(az, el, 5.0));
+}
+
+TEST(GsoArc, HighLatitudeSeesNoArc) {
+  // Beyond ~81 deg latitude the GSO belt is below the horizon; with a
+  // min-elevation filter of +5 the arc can vanish entirely.
+  const Geodetic alert{85.0, -62.0, 0.0};
+  const GsoArc arc(alert, 0.5, 5.0);
+  if (arc.samples().empty()) {
+    EXPECT_GT(arc.separation_deg(180.0, 45.0), 1e8);
+    EXPECT_FALSE(arc.excluded(180.0, 45.0, 18.0));
+  } else {
+    // If anything survived the filter it must be barely above 5 deg.
+    EXPECT_LT(arc.max_elevation_deg(), 10.0);
+  }
+}
+
+TEST(GsoArc, SeparationIsContinuousAcrossAzimuth) {
+  const GsoArc arc(kIowa);
+  double prev = arc.separation_deg(90.0, 45.0);
+  for (double az = 91.0; az <= 270.0; az += 1.0) {
+    const double cur = arc.separation_deg(az, 45.0);
+    EXPECT_LT(std::fabs(cur - prev), 3.0) << "jump at az " << az;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace starlab::geo

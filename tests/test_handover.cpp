@@ -1,0 +1,87 @@
+#include "analysis/handover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab::analysis {
+namespace {
+
+TEST(Handover, EmptySequence) {
+  const HandoverStats s = handover_stats({});
+  EXPECT_EQ(s.slots, 0u);
+  EXPECT_EQ(s.handovers, 0u);
+  EXPECT_DOUBLE_EQ(s.handover_rate, 0.0);
+}
+
+TEST(Handover, ConstantAllocationNeverHandsOver) {
+  std::vector<AllocationStep> seq(10, {44001, 10.0, 60.0});
+  const HandoverStats s = handover_stats(seq);
+  EXPECT_EQ(s.slots, 10u);
+  EXPECT_EQ(s.handovers, 0u);
+  EXPECT_DOUBLE_EQ(s.handover_rate, 0.0);
+  EXPECT_EQ(s.max_dwell_slots, 10u);
+  EXPECT_EQ(s.distinct_satellites, 1u);
+}
+
+TEST(Handover, AlternatingAllocationsAlwaysHandOver) {
+  std::vector<AllocationStep> seq;
+  for (int i = 0; i < 10; ++i) {
+    seq.push_back({i % 2 == 0 ? 44001 : 44002, 0.0, 50.0});
+  }
+  const HandoverStats s = handover_stats(seq);
+  EXPECT_EQ(s.handovers, 9u);
+  EXPECT_DOUBLE_EQ(s.handover_rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_dwell_slots, 1.0);
+  EXPECT_EQ(s.distinct_satellites, 2u);
+  EXPECT_DOUBLE_EQ(s.revisit_fraction, 1.0);  // both serve multiple dwells
+}
+
+TEST(Handover, JumpAngleMeasured) {
+  // Two satellites 90 deg of azimuth apart on the horizon.
+  std::vector<AllocationStep> seq{{1, 0.0, 0.0}, {2, 90.0, 0.0}};
+  const HandoverStats s = handover_stats(seq);
+  EXPECT_EQ(s.handovers, 1u);
+  EXPECT_NEAR(s.mean_jump_deg, 90.0, 1e-9);
+  EXPECT_NEAR(s.max_jump_deg, 90.0, 1e-9);
+}
+
+TEST(Handover, GapsBreakDwellsWithoutCountingHandover) {
+  std::vector<AllocationStep> seq{
+      {1, 0.0, 50.0}, {1, 0.0, 50.0}, {-1, 0.0, 0.0}, {2, 0.0, 50.0}};
+  const HandoverStats s = handover_stats(seq);
+  EXPECT_EQ(s.slots, 3u);
+  EXPECT_EQ(s.handovers, 0u);  // the change hides behind the gap
+  EXPECT_EQ(s.max_dwell_slots, 2u);
+}
+
+TEST(Handover, RealCampaignChangesNearlyEverySlot) {
+  // The §3 finding implies per-slot re-allocation; with a dense
+  // constellation and decision noise the satellite changes most slots.
+  using starlab::testing::small_scenario;
+  core::CampaignConfig cfg;
+  cfg.duration_hours = 1.0;
+  const core::CampaignData data =
+      core::run_campaign(small_scenario(), cfg);
+
+  std::vector<AllocationStep> seq;
+  for (const core::SlotObs* s : data.for_terminal(0)) {
+    if (s->has_choice()) {
+      const core::CandidateObs& c = s->chosen_candidate();
+      seq.push_back({c.norad_id, c.azimuth_deg, c.elevation_deg});
+    } else {
+      seq.push_back({-1, 0.0, 0.0});
+    }
+  }
+  const HandoverStats s = handover_stats(seq);
+  EXPECT_GT(s.slots, 200u);
+  EXPECT_GT(s.handover_rate, 0.4);
+  EXPECT_LT(s.mean_dwell_slots, 5.0);
+  EXPECT_GT(s.distinct_satellites, 10u);
+  // Sky jumps are bounded by the field of view (<= 130 deg across).
+  EXPECT_LT(s.max_jump_deg, 131.0);
+}
+
+}  // namespace
+}  // namespace starlab::analysis

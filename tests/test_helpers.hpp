@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared fixtures for the starlab test suite. Scenario construction is the
+// expensive part of most tests (SGP4 init for every satellite), so a small
+// scenario is built once per test binary and shared read-only.
+
+#include <memory>
+
+#include "core/scenario.hpp"
+
+namespace starlab::testing {
+
+/// A 1/4-scale scenario (about 1000 satellites) with the paper's four
+/// terminals. Built lazily, shared by all tests in a binary. Read-only.
+inline const core::Scenario& small_scenario() {
+  static const std::unique_ptr<core::Scenario> scenario = [] {
+    return std::make_unique<core::Scenario>(
+        core::Scenario::default_config(0.25));
+  }();
+  return *scenario;
+}
+
+/// An even smaller single-shell scenario for the hottest loops.
+inline const core::Scenario& tiny_scenario() {
+  static const std::unique_ptr<core::Scenario> scenario = [] {
+    core::ScenarioConfig cfg = core::Scenario::default_config(0.125);
+    return std::make_unique<core::Scenario>(std::move(cfg));
+  }();
+  return *scenario;
+}
+
+}  // namespace starlab::testing

@@ -1,0 +1,89 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace starlab::analysis {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-0.1);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  for (std::size_t b = 0; b < h.num_bins(); ++b) EXPECT_EQ(h.count(b), 0u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(25.0, 90.0, 13);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 27.5);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> v{0.5, 1.5, 1.6, 3.5};
+  h.add_all(v);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+}
+
+TEST(Histogram, FractionIgnoresOutOfRange) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(-5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 1.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, TextRendering) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.to_text(10);
+  // The fuller bin gets the full-width bar.
+  EXPECT_NE(text.find("##########"), std::string::npos);
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.mode_bin(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_FALSE(h.to_text().empty());
+}
+
+}  // namespace
+}  // namespace starlab::analysis

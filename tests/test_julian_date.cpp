@@ -1,0 +1,71 @@
+#include "time/julian_date.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace starlab::time {
+namespace {
+
+TEST(JulianDate, UnixEpochMapsToKnownJd) {
+  const JulianDate jd = JulianDate::from_unix_seconds(0.0);
+  EXPECT_DOUBLE_EQ(jd.value(), 2440587.5);
+}
+
+TEST(JulianDate, J2000CalendarValue) {
+  // 2000-01-01 12:00:00 UTC is JD 2451545.0 (ignoring the 64.184 s TT-UTC
+  // offset, which starlab's uniform-UTC convention absorbs).
+  const JulianDate jd = JulianDate::from_calendar(2000, 1, 1, 12, 0, 0.0);
+  EXPECT_NEAR(jd.value(), 2451545.0, 1e-9);
+}
+
+TEST(JulianDate, KnownModernDate) {
+  // 2023-06-01 00:00:00 UTC == JD 2460096.5 (standard almanac value).
+  const JulianDate jd = JulianDate::from_calendar(2023, 6, 1, 0, 0, 0.0);
+  EXPECT_NEAR(jd.value(), 2460096.5, 1e-9);
+}
+
+TEST(JulianDate, UnixRoundTripPreservesSubMillisecond) {
+  const double unix_sec = 1.6857e9 + 0.123456;
+  const JulianDate jd = JulianDate::from_unix_seconds(unix_sec);
+  EXPECT_NEAR(jd.to_unix_seconds(), unix_sec, 1e-5);
+}
+
+TEST(JulianDate, PlusSecondsAdvancesExactly) {
+  const JulianDate a = JulianDate::from_unix_seconds(1.7e9);
+  const JulianDate b = a.plus_seconds(15.0);
+  EXPECT_NEAR(b.to_unix_seconds() - a.to_unix_seconds(), 15.0, 1e-6);
+}
+
+TEST(JulianDate, PlusDaysAndDaysSinceAreInverse) {
+  const JulianDate a = JulianDate::from_calendar(2023, 3, 14, 1, 59, 26.5);
+  const JulianDate b = a.plus_days(3.25);
+  EXPECT_NEAR(b.days_since(a), 3.25, 1e-12);
+}
+
+TEST(JulianDate, MinutesSinceMatchesDays) {
+  const JulianDate a = JulianDate::from_unix_seconds(1.7e9);
+  const JulianDate b = a.plus_days(0.5);
+  EXPECT_NEAR(b.minutes_since(a), 720.0, 1e-9);
+}
+
+TEST(JulianDate, NegativeUnixSecondsWork) {
+  // 1969-12-31 12:00 UTC.
+  const JulianDate jd = JulianDate::from_unix_seconds(-43200.0);
+  EXPECT_NEAR(jd.value(), 2440587.0, 1e-9);
+}
+
+TEST(JulianDate, NormalizationKeepsFractionSmall) {
+  const JulianDate jd(2451545.0, 3.75);  // 3.75 days of "fraction"
+  EXPECT_NEAR(jd.value(), 2451548.75, 1e-9);
+  EXPECT_LT(std::fabs(jd.frac_part()), 1.0);
+}
+
+TEST(JulianDate, BackwardOffsets) {
+  const JulianDate a = JulianDate::from_unix_seconds(1.7e9);
+  const JulianDate b = a.plus_seconds(-86400.0);
+  EXPECT_NEAR(a.days_since(b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace starlab::time

@@ -1,0 +1,93 @@
+#include "measurement/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace starlab::measurement {
+namespace {
+
+TEST(GilbertElliottTest, StationaryRateFormula) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.09;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  const GilbertElliott ge(cfg);
+  EXPECT_NEAR(ge.stationary_loss_rate(), 0.1, 1e-12);
+}
+
+TEST(GilbertElliottTest, EmpiricalRateMatchesStationary) {
+  GilbertElliott ge({}, 5);
+  const int n = 400000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ge.step()) ++lost;
+  }
+  const double rate = static_cast<double>(lost) / n;
+  EXPECT_NEAR(rate, ge.stationary_loss_rate(),
+              ge.stationary_loss_rate() * 0.3);
+}
+
+TEST(GilbertElliottTest, LossIsBursty) {
+  // Compare the run-length distribution against an independent model of the
+  // same rate: GE must produce much longer loss bursts.
+  GilbertElliott ge({}, 7);
+  const int n = 300000;
+  std::vector<int> loss_runs;
+  int run = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ge.step()) {
+      ++run;
+    } else if (run > 0) {
+      loss_runs.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_FALSE(loss_runs.empty());
+  int max_run = 0;
+  double total = 0.0;
+  for (const int r : loss_runs) {
+    max_run = std::max(max_run, r);
+    total += r;
+  }
+  const double mean_run = total / static_cast<double>(loss_runs.size());
+  // Independent loss at ~1% would give mean run ~1.01 and max ~3-4.
+  EXPECT_GT(mean_run, 1.3);
+  EXPECT_GT(max_run, 5);
+}
+
+TEST(GilbertElliottTest, StateTransitionsHappen) {
+  GilbertElliott ge({}, 9);
+  bool saw_bad = false, saw_good_after_bad = false;
+  for (int i = 0; i < 200000; ++i) {
+    (void)ge.step();
+    if (ge.in_bad_state()) saw_bad = true;
+    if (saw_bad && !ge.in_bad_state()) saw_good_after_bad = true;
+  }
+  EXPECT_TRUE(saw_bad);
+  EXPECT_TRUE(saw_good_after_bad);
+}
+
+TEST(GilbertElliottTest, ResetRestartsSequence) {
+  GilbertElliott a({}, 11);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(a.step());
+  a.reset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.step(), first[static_cast<std::size_t>(i)]) << "i=" << i;
+  }
+}
+
+TEST(GilbertElliottTest, SeedChangesPattern) {
+  GilbertElliott a({}, 1), b({}, 2);
+  int diffs = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (a.step() != b.step()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+}  // namespace
+}  // namespace starlab::measurement

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scheduler/mac_scheduler.hpp"
+
+namespace starlab::scheduler {
+namespace {
+
+constexpr std::uint64_t kTerminal = 0x5eedULL;
+
+TEST(MacPriority, MissProbabilityOrdering) {
+  const MacScheduler mac;
+  EXPECT_LT(mac.miss_probability_for(Priority::kPriority),
+            mac.miss_probability_for(Priority::kStandard));
+  EXPECT_GT(mac.miss_probability_for(Priority::kBestEffort),
+            mac.miss_probability_for(Priority::kStandard));
+  EXPECT_LE(mac.miss_probability_for(Priority::kBestEffort), 0.95);
+}
+
+TEST(MacPriority, PriorityLandsInFrontHalfOfCycle) {
+  const MacScheduler mac;
+  for (int id = 44000; id < 44200; ++id) {
+    const int cycle = mac.cycle_length(id, 9);
+    const int pos = mac.rotation_position(id, kTerminal, 9, Priority::kPriority);
+    EXPECT_LT(pos, std::max(1, cycle / 2)) << "id " << id;
+  }
+}
+
+TEST(MacPriority, BestEffortLandsInBackHalf) {
+  const MacScheduler mac;
+  for (int id = 44000; id < 44200; ++id) {
+    const int cycle = mac.cycle_length(id, 9);
+    if (cycle < 2) continue;
+    const int pos =
+        mac.rotation_position(id, kTerminal, 9, Priority::kBestEffort);
+    EXPECT_GE(pos, cycle / 2) << "id " << id;
+    EXPECT_LT(pos, cycle) << "id " << id;
+  }
+}
+
+TEST(MacPriority, StandardUnchangedByTheFeature) {
+  const MacScheduler mac;
+  for (int id = 44000; id < 44050; ++id) {
+    EXPECT_EQ(mac.rotation_position(id, kTerminal, 3),
+              mac.rotation_position(id, kTerminal, 3, Priority::kStandard));
+    EXPECT_DOUBLE_EQ(
+        mac.queuing_delay_ms(id, kTerminal, 3, 7),
+        mac.queuing_delay_ms(id, kTerminal, 3, 7, Priority::kStandard));
+  }
+}
+
+TEST(MacPriority, MeanDelayOrdering) {
+  // Averaged over many probes and satellites, priority < standard <
+  // best-effort.
+  const MacScheduler mac;
+  double sums[3] = {0.0, 0.0, 0.0};
+  const Priority tiers[3] = {Priority::kPriority, Priority::kStandard,
+                             Priority::kBestEffort};
+  int n = 0;
+  for (int id = 44000; id < 44040; ++id) {
+    for (std::uint64_t p = 0; p < 200; ++p) {
+      for (int t = 0; t < 3; ++t) {
+        sums[t] += mac.queuing_delay_ms(id, kTerminal, 5, p, tiers[t]);
+      }
+      ++n;
+    }
+  }
+  EXPECT_LT(sums[0] / n, sums[1] / n);
+  EXPECT_LT(sums[1] / n, sums[2] / n);
+}
+
+TEST(MacPriority, BandsStillDiscretePerTier) {
+  const MacScheduler mac;
+  for (const Priority tier :
+       {Priority::kPriority, Priority::kStandard, Priority::kBestEffort}) {
+    std::set<int> bands;
+    for (std::uint64_t p = 0; p < 500; ++p) {
+      bands.insert(mac.band_of_probe(44000, kTerminal, 11, p, tier));
+    }
+    EXPECT_GE(bands.size(), 1u);
+    EXPECT_LE(bands.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace starlab::scheduler

@@ -1,0 +1,100 @@
+#include "analysis/mann_whitney.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace starlab::analysis {
+namespace {
+
+std::vector<double> normal_sample(double mean, double sd, int n,
+                                  unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(mean, sd);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(dist(rng));
+  return v;
+}
+
+TEST(MannWhitney, ShiftedDistributionsAreSignificant) {
+  // Two RTT-like windows with a 3 ms median shift (the paper's §3 case).
+  const auto a = normal_sample(30.0, 1.0, 300, 1);
+  const auto b = normal_sample(33.0, 1.0, 300, 2);
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_two_sided, 0.05);
+  EXPECT_LT(r.p_two_sided, 1e-6);
+}
+
+TEST(MannWhitney, SameDistributionIsNotSignificant) {
+  const auto a = normal_sample(30.0, 1.0, 300, 3);
+  const auto b = normal_sample(30.0, 1.0, 300, 4);
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_GT(r.p_two_sided, 0.05);
+}
+
+TEST(MannWhitney, UStatisticBounds) {
+  const auto a = normal_sample(10.0, 2.0, 50, 5);
+  const auto b = normal_sample(12.0, 2.0, 70, 6);
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_GE(r.u, 0.0);
+  EXPECT_LE(r.u, 50.0 * 70.0);
+}
+
+TEST(MannWhitney, CompleteSeparationGivesExtremeU) {
+  const std::vector<double> low{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> high{10.0, 11.0, 12.0, 13.0};
+  const MannWhitneyResult r = mann_whitney_u(low, high);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);  // every low < every high
+  const MannWhitneyResult r2 = mann_whitney_u(high, low);
+  EXPECT_DOUBLE_EQ(r2.u, 16.0);
+}
+
+TEST(MannWhitney, SymmetryOfP) {
+  const auto a = normal_sample(5.0, 1.0, 80, 7);
+  const auto b = normal_sample(6.0, 1.0, 90, 8);
+  const MannWhitneyResult ab = mann_whitney_u(a, b);
+  const MannWhitneyResult ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+}
+
+TEST(MannWhitney, AllTiedIsDegenerate) {
+  const std::vector<double> a{5.0, 5.0, 5.0};
+  const std::vector<double> b{5.0, 5.0, 5.0, 5.0};
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(MannWhitney, EmptyInputIsDegenerate) {
+  const std::vector<double> a;
+  const std::vector<double> b{1.0};
+  EXPECT_DOUBLE_EQ(mann_whitney_u(a, b).p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(mann_whitney_u(b, a).p_two_sided, 1.0);
+}
+
+TEST(MannWhitney, TiesHandledWithoutBlowup) {
+  // Heavily tied integer-ish data (like banded RTTs).
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(static_cast<double>(i % 4));
+    b.push_back(static_cast<double>(i % 4 + (i % 2)));
+  }
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_GE(r.p_two_sided, 0.0);
+  EXPECT_LE(r.p_two_sided, 1.0);
+  EXPECT_LT(r.p_two_sided, 0.05);  // b is stochastically larger
+}
+
+TEST(MannWhitney, PowerGrowsWithSampleSize) {
+  const auto a_small = normal_sample(30.0, 2.0, 20, 9);
+  const auto b_small = normal_sample(31.0, 2.0, 20, 10);
+  const auto a_big = normal_sample(30.0, 2.0, 2000, 11);
+  const auto b_big = normal_sample(31.0, 2.0, 2000, 12);
+  EXPECT_LT(mann_whitney_u(a_big, b_big).p_two_sided,
+            mann_whitney_u(a_small, b_small).p_two_sided + 1e-12);
+}
+
+}  // namespace
+}  // namespace starlab::analysis

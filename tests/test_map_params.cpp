@@ -1,0 +1,76 @@
+#include "obsmap/map_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab::obsmap {
+namespace {
+
+/// Paint a synthetic fully-covered sky into a frame with the true geometry.
+ObstructionMap synthetic_filled(const MapGeometry& g) {
+  ObstructionMap frame;
+  for (double az = 0.0; az < 360.0; az += 1.0) {
+    for (double el = 25.0; el <= 90.0; el += 1.0) {
+      if (const auto px = g.pixel_of({az, el})) frame.set(*px);
+    }
+  }
+  return frame;
+}
+
+TEST(MapParams, RecoversPublishedGeometry) {
+  const MapGeometry truth;
+  const auto recovered = recover_geometry(synthetic_filled(truth));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NEAR(recovered->geometry.center_x, truth.center_x, 1.0);
+  EXPECT_NEAR(recovered->geometry.center_y, truth.center_y, 1.0);
+  EXPECT_NEAR(recovered->geometry.radius_px, truth.radius_px, 1.0);
+  EXPECT_DOUBLE_EQ(recovered->geometry.min_elevation_deg, 25.0);
+  EXPECT_DOUBLE_EQ(recovered->geometry.max_elevation_deg, 90.0);
+}
+
+TEST(MapParams, RecoversShiftedGeometry) {
+  const MapGeometry truth{55.0, 66.0, 40.0, 25.0, 90.0};
+  const auto recovered = recover_geometry(synthetic_filled(truth));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NEAR(recovered->geometry.center_x, 55.0, 1.0);
+  EXPECT_NEAR(recovered->geometry.center_y, 66.0, 1.0);
+  EXPECT_NEAR(recovered->geometry.radius_px, 40.0, 1.0);
+}
+
+TEST(MapParams, SparseFrameRejected) {
+  ObstructionMap frame;
+  for (int i = 0; i < 100; ++i) frame.set(30 + i % 10, 30 + i / 10);
+  EXPECT_FALSE(recover_geometry(frame, 500).has_value());
+}
+
+TEST(MapParams, BoundingBoxReported) {
+  const MapGeometry truth;
+  const auto recovered = recover_geometry(synthetic_filled(truth));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NEAR(recovered->bbox_min_x, 61 - 45, 1);
+  EXPECT_NEAR(recovered->bbox_max_x, 61 + 45, 1);
+  EXPECT_NEAR(recovered->bbox_min_y, 61 - 45, 1);
+  EXPECT_NEAR(recovered->bbox_max_y, 61 + 45, 1);
+  EXPECT_GT(recovered->painted_pixels, 3000u);
+}
+
+TEST(MapParams, TwoDayFillRecoversGeometryEndToEnd) {
+  // The paper's actual §4.1 procedure on the simulated dish: accumulate a
+  // long window without reset, then fit. Uses a shorter fill (6 h) — the
+  // simulated scheduler covers the sky faster than 2 days because every
+  // slot paints a fresh streak.
+  using starlab::testing::small_scenario;
+  const auto recovered = starlab::core::InferencePipeline::
+      recover_geometry_via_fill(small_scenario(), 0, 6.0);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NEAR(recovered->geometry.center_x, 61.0, 3.0);
+  EXPECT_NEAR(recovered->geometry.center_y, 61.0, 3.0);
+  EXPECT_NEAR(recovered->geometry.radius_px, 45.0, 3.0);
+}
+
+}  // namespace
+}  // namespace starlab::obsmap

@@ -1,0 +1,157 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace starlab::ml {
+namespace {
+
+Dataset three_blobs(int n_per_class, unsigned seed) {
+  Dataset d(2, {"x", "y"}, {"a", "b", "c"});
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.8);
+  for (int i = 0; i < n_per_class; ++i) {
+    d.add_row(std::vector<double>{noise(rng), noise(rng)}, 0);
+    d.add_row(std::vector<double>{5.0 + noise(rng), noise(rng)}, 1);
+    d.add_row(std::vector<double>{2.5 + noise(rng), 5.0 + noise(rng)}, 2);
+  }
+  return d;
+}
+
+TEST(RandomForest, ClassifiesThreeBlobs) {
+  const Dataset d = three_blobs(80, 1);
+  ForestConfig cfg;
+  cfg.num_trees = 30;
+  RandomForest forest(cfg);
+  forest.fit(d);
+
+  EXPECT_EQ(forest.predict(std::vector<double>{0.0, 0.0}), 0);
+  EXPECT_EQ(forest.predict(std::vector<double>{5.0, 0.0}), 1);
+  EXPECT_EQ(forest.predict(std::vector<double>{2.5, 5.0}), 2);
+}
+
+TEST(RandomForest, ProbaIsDistribution) {
+  const Dataset d = three_blobs(50, 2);
+  RandomForest forest({20, {}, 1.0, 3});
+  forest.fit(d);
+  const auto p = forest.predict_proba(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RandomForest, RankedClassesMatchProbaOrder) {
+  const Dataset d = three_blobs(50, 4);
+  RandomForest forest({20, {}, 1.0, 5});
+  forest.fit(d);
+  const std::vector<double> x{4.5, 0.5};
+  const auto p = forest.predict_proba(x);
+  const auto ranked = forest.ranked_classes(x);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], forest.predict(x));
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(p[static_cast<std::size_t>(ranked[i - 1])],
+              p[static_cast<std::size_t>(ranked[i])]);
+  }
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  const Dataset d = three_blobs(40, 6);
+  ForestConfig cfg;
+  cfg.num_trees = 10;
+  cfg.seed = 42;
+  RandomForest f1(cfg), f2(cfg);
+  f1.fit(d);
+  f2.fit(d);
+  for (double x = -1.0; x < 6.0; x += 0.7) {
+    const auto p1 = f1.predict_proba(std::vector<double>{x, 1.0});
+    const auto p2 = f2.predict_proba(std::vector<double>{x, 1.0});
+    for (std::size_t c = 0; c < p1.size(); ++c) {
+      EXPECT_DOUBLE_EQ(p1[c], p2[c]);
+    }
+  }
+}
+
+TEST(RandomForest, SeedChangesModel) {
+  const Dataset d = three_blobs(40, 7);
+  ForestConfig a, b;
+  a.num_trees = b.num_trees = 10;
+  a.seed = 1;
+  b.seed = 2;
+  RandomForest fa(a), fb(b);
+  fa.fit(d);
+  fb.fit(d);
+  bool any_diff = false;
+  for (double x = -1.0; x < 6.0 && !any_diff; x += 0.3) {
+    const auto pa = fa.predict_proba(std::vector<double>{x, 2.0});
+    const auto pb = fb.predict_proba(std::vector<double>{x, 2.0});
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      if (pa[c] != pb[c]) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, ImportancesNormalized) {
+  const Dataset d = three_blobs(60, 8);
+  RandomForest forest({25, {}, 1.0, 9});
+  forest.fit(d);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+  EXPECT_GE(imp[0], 0.0);
+  EXPECT_GE(imp[1], 0.0);
+}
+
+TEST(RandomForest, NoiseFeatureGetsLowImportance) {
+  Dataset d(3, {"signal", "noise1", "noise2"}, {"a", "b"});
+  std::mt19937 rng(10);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    const double x = u(rng);
+    d.add_row(std::vector<double>{x, u(rng), u(rng)}, x > 0.5 ? 1 : 0);
+  }
+  RandomForest forest({30, {}, 1.0, 11});
+  forest.fit(d);
+  const auto imp = forest.feature_importances();
+  EXPECT_GT(imp[0], 0.6);
+  EXPECT_LT(imp[1], 0.25);
+  EXPECT_LT(imp[2], 0.25);
+}
+
+TEST(RandomForest, GeneralizesBetterThanChance) {
+  const Dataset train = three_blobs(60, 12);
+  const Dataset test = three_blobs(30, 13);
+  ForestConfig cfg;
+  cfg.num_trees = 40;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (forest.predict(test.row(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(RandomForest, EmptyTrainingThrows) {
+  Dataset d(2);
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(d), std::invalid_argument);
+}
+
+TEST(RandomForest, TreeCountHonored) {
+  const Dataset d = three_blobs(20, 14);
+  ForestConfig cfg;
+  cfg.num_trees = 7;
+  RandomForest forest(cfg);
+  forest.fit(d);
+  EXPECT_EQ(forest.trees().size(), 7u);
+}
+
+}  // namespace
+}  // namespace starlab::ml

@@ -1,0 +1,76 @@
+#include "io/rtt_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "measurement/changepoint.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab::io {
+namespace {
+
+measurement::RttSeries sample_series(double minutes = 1.0) {
+  const auto& sc = starlab::testing::small_scenario();
+  const measurement::LatencyModel model(sc.catalog(), sc.mac_scheduler());
+  const measurement::RttProber prober(sc.global_scheduler(), model);
+  const double t0 = sc.grid().slot_start(sc.first_slot());
+  return prober.run(sc.terminal(0), t0, t0 + minutes * 60.0);
+}
+
+TEST(RttIo, RoundTripExact) {
+  const measurement::RttSeries original = sample_series();
+  std::stringstream buffer;
+  save_rtt_series(buffer, original);
+  const measurement::RttSeries loaded = load_rtt_series(buffer);
+
+  EXPECT_EQ(loaded.terminal, original.terminal);
+  EXPECT_DOUBLE_EQ(loaded.interval_ms, original.interval_ms);
+  ASSERT_EQ(loaded.samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < loaded.samples.size(); i += 100) {
+    EXPECT_NEAR(loaded.samples[i].unix_sec, original.samples[i].unix_sec, 1e-5);
+    EXPECT_EQ(loaded.samples[i].lost, original.samples[i].lost);
+    EXPECT_EQ(loaded.samples[i].slot, original.samples[i].slot);
+    if (!loaded.samples[i].lost) {
+      EXPECT_NEAR(loaded.samples[i].rtt_ms, original.samples[i].rtt_ms, 1e-5);
+    }
+  }
+}
+
+TEST(RttIo, LoadedSeriesAnalyzesTheSame) {
+  const measurement::RttSeries original = sample_series(5.0);
+  std::stringstream buffer;
+  save_rtt_series(buffer, original);
+  const measurement::RttSeries loaded = load_rtt_series(buffer);
+
+  const auto changes_a = measurement::detect_change_points(original);
+  const auto changes_b = measurement::detect_change_points(loaded);
+  ASSERT_EQ(changes_a.size(), changes_b.size());
+  for (std::size_t i = 0; i < changes_a.size(); ++i) {
+    EXPECT_NEAR(changes_a[i].unix_sec, changes_b[i].unix_sec, 1e-3);
+  }
+}
+
+TEST(RttIo, LossRatePreserved) {
+  const measurement::RttSeries original = sample_series(2.0);
+  std::stringstream buffer;
+  save_rtt_series(buffer, original);
+  const measurement::RttSeries loaded = load_rtt_series(buffer);
+  EXPECT_DOUBLE_EQ(loaded.loss_rate(), original.loss_rate());
+}
+
+TEST(RttIo, RejectsMissingMetadata) {
+  std::istringstream no_meta("unix_sec,rtt_ms,lost,slot\n1,2,0,3\n");
+  EXPECT_THROW((void)load_rtt_series(no_meta), std::runtime_error);
+}
+
+TEST(RttIo, FileRoundTrip) {
+  const measurement::RttSeries original = sample_series(0.2);
+  const std::string path = ::testing::TempDir() + "/starlab_rtt.csv";
+  save_rtt_series_file(path, original);
+  const measurement::RttSeries loaded = load_rtt_series_file(path);
+  EXPECT_EQ(loaded.samples.size(), original.samples.size());
+}
+
+}  // namespace
+}  // namespace starlab::io

@@ -1,0 +1,134 @@
+#include "measurement/rtt_prober.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace starlab::measurement {
+namespace {
+
+using starlab::testing::small_scenario;
+
+RttSeries probe_minutes(double minutes, std::size_t terminal = 0) {
+  const LatencyModel model(small_scenario().catalog(),
+                           small_scenario().mac_scheduler());
+  const RttProber prober(small_scenario().global_scheduler(), model);
+  const double t0 =
+      small_scenario().grid().slot_start(small_scenario().first_slot());
+  return prober.run(small_scenario().terminal(terminal), t0,
+                    t0 + minutes * 60.0);
+}
+
+TEST(RttProber, SampleCountMatchesRate) {
+  const RttSeries series = probe_minutes(1.0);
+  // 1 probe / 20 ms for 60 s == 3000 probes.
+  EXPECT_EQ(series.samples.size(), 3000u);
+  EXPECT_EQ(series.terminal, "Iowa");
+}
+
+TEST(RttProber, TimestampsAreUniform) {
+  const RttSeries series = probe_minutes(0.2);
+  for (std::size_t i = 1; i < series.samples.size(); ++i) {
+    // Absolute Unix timestamps near 1.7e9 have ~2e-7 s double resolution.
+    EXPECT_NEAR(series.samples[i].unix_sec - series.samples[i - 1].unix_sec,
+                0.02, 1e-6);
+  }
+}
+
+TEST(RttProber, SlotAnnotationMatchesGrid) {
+  const RttSeries series = probe_minutes(1.0);
+  const auto& grid = small_scenario().grid();
+  for (const RttSample& s : series.samples) {
+    EXPECT_EQ(s.slot, grid.slot_of(s.unix_sec));
+  }
+}
+
+TEST(RttProber, RttsInPaperRange) {
+  const RttSeries series = probe_minutes(2.0);
+  for (const RttSample& s : series.received()) {
+    EXPECT_GT(s.rtt_ms, 10.0);
+    EXPECT_LT(s.rtt_ms, 90.0);
+  }
+}
+
+TEST(RttProber, SomeLossButNotMuch) {
+  const RttSeries series = probe_minutes(5.0);
+  const double loss = series.loss_rate();
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 0.08);
+}
+
+TEST(RttProber, ReceivedExcludesExactlyTheLost) {
+  const RttSeries series = probe_minutes(1.0);
+  const auto recv = series.received();
+  std::size_t lost = 0;
+  for (const RttSample& s : series.samples) {
+    if (s.lost) ++lost;
+  }
+  EXPECT_EQ(recv.size() + lost, series.samples.size());
+  for (const RttSample& s : recv) EXPECT_FALSE(s.lost);
+}
+
+TEST(RttProber, CoversMultipleSlots) {
+  const RttSeries series = probe_minutes(1.0);
+  std::set<time::SlotIndex> slots;
+  for (const RttSample& s : series.samples) slots.insert(s.slot);
+  EXPECT_GE(slots.size(), 4u);  // 60 s / 15 s
+}
+
+TEST(RttProber, MedianShiftsAcrossSomeSlotBoundary) {
+  // The global re-allocation must leave a visible signature: at least one
+  // pair of adjacent slots with clearly different median RTT.
+  const RttSeries series = probe_minutes(3.0);
+  std::map<time::SlotIndex, std::vector<double>> by_slot;
+  for (const RttSample& s : series.received()) {
+    by_slot[s.slot].push_back(s.rtt_ms);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  double max_jump = 0.0;
+  double prev = 0.0;
+  bool have_prev = false;
+  for (auto& [slot, vals] : by_slot) {
+    const double m = median(std::move(vals));
+    if (have_prev) max_jump = std::max(max_jump, std::fabs(m - prev));
+    prev = m;
+    have_prev = true;
+  }
+  EXPECT_GT(max_jump, 1.0);
+}
+
+TEST(RttProber, DeterministicAcrossRuns) {
+  const RttSeries a = probe_minutes(0.5);
+  const RttSeries b = probe_minutes(0.5);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); i += 50) {
+    EXPECT_EQ(a.samples[i].lost, b.samples[i].lost);
+    if (!a.samples[i].lost) {
+      EXPECT_DOUBLE_EQ(a.samples[i].rtt_ms, b.samples[i].rtt_ms);
+    }
+  }
+}
+
+TEST(RttProber, DifferentTerminalsDifferentSeries) {
+  const RttSeries iowa = probe_minutes(0.5, 0);
+  const RttSeries madrid = probe_minutes(0.5, 2);
+  ASSERT_EQ(iowa.samples.size(), madrid.samples.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < iowa.samples.size() && !any_diff; ++i) {
+    if (!iowa.samples[i].lost && !madrid.samples[i].lost) {
+      any_diff = iowa.samples[i].rtt_ms != madrid.samples[i].rtt_ms;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace starlab::measurement

@@ -1,0 +1,88 @@
+#include "core/satellite_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace starlab::core {
+namespace {
+
+using starlab::testing::small_scenario;
+
+struct Fixture {
+  CampaignData data;
+  ml::RandomForest forest;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture out;
+    CampaignConfig cfg;
+    cfg.duration_hours = 4.0;
+    out.data = run_campaign(small_scenario(), cfg);
+
+    const ClusterFeaturizer featurizer;
+    const ml::Dataset train = featurizer.build_dataset(out.data);
+    ml::ForestConfig fc;
+    fc.num_trees = 40;
+    fc.tree.max_depth = 14;
+    out.forest = ml::RandomForest(fc);
+    out.forest.fit(train);
+    return out;
+  }();
+  return f;
+}
+
+TEST(SatellitePredictor, RankingIsAPermutationOfCandidates) {
+  const SatellitePredictor predictor(fixture().forest);
+  for (const SlotObs& slot : fixture().data.slots) {
+    if (slot.available.empty()) continue;
+    const std::vector<int> ranked = predictor.rank_satellites(slot);
+    ASSERT_EQ(ranked.size(), slot.available.size());
+    std::set<int> from_rank(ranked.begin(), ranked.end());
+    std::set<int> from_slot;
+    for (const CandidateObs& c : slot.available) from_slot.insert(c.norad_id);
+    EXPECT_EQ(from_rank, from_slot);
+    break;
+  }
+}
+
+TEST(SatellitePredictor, EmptySlotGivesEmptyRanking) {
+  const SatellitePredictor predictor(fixture().forest);
+  SlotObs empty;
+  EXPECT_TRUE(predictor.rank_satellites(empty).empty());
+}
+
+TEST(SatellitePredictor, BeatsRandomGuessing) {
+  const SatellitePredictor predictor(fixture().forest);
+  const std::vector<double> topk =
+      predictor.evaluate_top_k(fixture().data, 5);
+  ASSERT_EQ(topk.size(), 5u);
+
+  // Expected random top-1: mean of 1/|candidates|.
+  double inv_sum = 0.0;
+  std::size_t n = 0;
+  for (const SlotObs& s : fixture().data.slots) {
+    if (!s.has_choice()) continue;
+    inv_sum += 1.0 / static_cast<double>(s.available.size());
+    ++n;
+  }
+  const double random_top1 = inv_sum / static_cast<double>(n);
+  EXPECT_GT(topk[0], 1.5 * random_top1);
+}
+
+TEST(SatellitePredictor, TopKMonotone) {
+  const SatellitePredictor predictor(fixture().forest);
+  const std::vector<double> topk =
+      predictor.evaluate_top_k(fixture().data, 8);
+  for (std::size_t k = 1; k < topk.size(); ++k) {
+    EXPECT_GE(topk[k], topk[k - 1]);
+  }
+  EXPECT_GT(topk.back(), 0.5);  // top-8 of ~10 candidates: usually a hit
+}
+
+}  // namespace
+}  // namespace starlab::core

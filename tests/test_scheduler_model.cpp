@@ -1,0 +1,155 @@
+#include "core/scheduler_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_helpers.hpp"
+
+namespace starlab::core {
+namespace {
+
+using starlab::testing::small_scenario;
+
+const CampaignData& campaign() {
+  static const CampaignData data = [] {
+    CampaignConfig cfg;
+    cfg.duration_hours = 6.0;
+    return run_campaign(small_scenario(), cfg);
+  }();
+  return data;
+}
+
+TEST(ClusterFeaturizerTest, ZBucketClampsAndRounds) {
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(0.0, 0.0, 1.0), 0);
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(1.4, 0.0, 1.0), 1);
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(1.6, 0.0, 1.0), 2);
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(-7.0, 0.0, 1.0), -2);
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(7.0, 0.0, 1.0), 2);
+  // Zero stddev collapses to the mean bucket.
+  EXPECT_EQ(ClusterFeaturizer::z_bucket(123.0, 5.0, 0.0), 0);
+}
+
+TEST(ClusterFeaturizerTest, ClusterIndexBijective) {
+  std::vector<bool> seen(ClusterFeaturizer::kNumClusters, false);
+  for (int a = -2; a <= 2; ++a) {
+    for (int e = -2; e <= 2; ++e) {
+      for (int g = -2; g <= 2; ++g) {
+        for (int s = 0; s <= 1; ++s) {
+          const int idx = ClusterFeaturizer::cluster_index(a, e, g, s == 1);
+          ASSERT_GE(idx, 0);
+          ASSERT_LT(idx, ClusterFeaturizer::kNumClusters);
+          EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+          seen[static_cast<std::size_t>(idx)] = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterFeaturizerTest, ClusterNamesMatchPaperFormat) {
+  const int idx = ClusterFeaturizer::cluster_index(1, 0, 2, true);
+  EXPECT_EQ(ClusterFeaturizer::cluster_name(idx), "(1,0,2,1)");
+  const int idx2 = ClusterFeaturizer::cluster_index(-1, -1, -1, true);
+  EXPECT_EQ(ClusterFeaturizer::cluster_name(idx2), "(-1,-1,-1,1)");
+}
+
+TEST(ClusterFeaturizerTest, FeatureNamesLayout) {
+  const auto names = ClusterFeaturizer::feature_names();
+  ASSERT_EQ(names.size(), ClusterFeaturizer::kNumFeatures);
+  EXPECT_EQ(names[0], "local_hour");
+  EXPECT_EQ(names[1], ClusterFeaturizer::cluster_name(0));
+}
+
+TEST(ClusterFeaturizerTest, FeaturizeCountsAddUp) {
+  const ClusterFeaturizer f;
+  for (const SlotObs& slot : campaign().slots) {
+    if (slot.available.empty()) continue;
+    const auto sf = f.featurize(slot);
+    EXPECT_DOUBLE_EQ(sf.x[0], slot.local_hour);
+    const double count_sum =
+        std::accumulate(sf.x.begin() + 1, sf.x.end(), 0.0);
+    EXPECT_DOUBLE_EQ(count_sum, static_cast<double>(slot.available.size()));
+    if (slot.has_choice()) {
+      ASSERT_GE(sf.label, 0);
+      // The chosen satellite's cluster has at least one member.
+      EXPECT_GE(sf.x[1 + static_cast<std::size_t>(sf.label)], 1.0);
+    }
+    break;  // structural check on the first populated slot is enough here
+  }
+}
+
+TEST(ClusterFeaturizerTest, DatasetSkipsChoicelessSlots) {
+  const ClusterFeaturizer f;
+  const ml::Dataset d = f.build_dataset(campaign());
+  std::size_t with_choice = 0;
+  for (const SlotObs& s : campaign().slots) {
+    if (s.has_choice()) ++with_choice;
+  }
+  EXPECT_EQ(d.size(), with_choice);
+  EXPECT_EQ(d.num_features(), ClusterFeaturizer::kNumFeatures);
+  EXPECT_EQ(d.num_classes(), ClusterFeaturizer::kNumClusters);
+}
+
+TEST(ClusterFeaturizerTest, TerminalFilterWorks) {
+  const ClusterFeaturizer f;
+  const ml::Dataset all = f.build_dataset(campaign());
+  const ml::Dataset iowa = f.build_dataset(campaign(), 0);
+  EXPECT_LT(iowa.size(), all.size());
+  EXPECT_GT(iowa.size(), 0u);
+}
+
+TEST(SchedulerModel, BeatsBaselineOnTopK) {
+  ModelTrainConfig cfg;  // fixed forest, no grid search (fast)
+  const ModelEvaluation eval = train_scheduler_model(campaign(), cfg);
+  ASSERT_EQ(eval.forest_top_k.size(), 9u);
+  ASSERT_GT(eval.holdout_rows, 100u);
+
+  // Paper Fig 8: the model clearly outperforms the popularity baseline.
+  // At this test's 1/4 constellation scale the candidate sets are small, so
+  // the baseline's top-k saturates early; the separation shows at low k
+  // (the full-scale Fig 8 bench reproduces the k=5 gap).
+  EXPECT_GT(eval.forest_top_k[0], eval.baseline_top_k[0] + 0.1);
+  EXPECT_GT(eval.forest_top_k[2], eval.baseline_top_k[2] + 0.1);
+  EXPECT_GT(eval.forest_top_k[4], eval.baseline_top_k[4]);
+}
+
+TEST(SchedulerModel, TopKMonotoneInK) {
+  const ModelEvaluation eval = train_scheduler_model(campaign());
+  for (std::size_t k = 1; k < eval.forest_top_k.size(); ++k) {
+    EXPECT_GE(eval.forest_top_k[k], eval.forest_top_k[k - 1]);
+    EXPECT_GE(eval.baseline_top_k[k], eval.baseline_top_k[k - 1]);
+  }
+}
+
+TEST(SchedulerModel, HoldoutSplitIs80_20) {
+  const ModelEvaluation eval = train_scheduler_model(campaign());
+  const double frac = static_cast<double>(eval.holdout_rows) /
+                      static_cast<double>(eval.holdout_rows + eval.train_rows);
+  EXPECT_NEAR(frac, 0.2, 0.01);
+}
+
+TEST(SchedulerModel, ImportancesSumToOneAndAreNamed) {
+  const ModelEvaluation eval = train_scheduler_model(campaign());
+  double sum = 0.0;
+  for (const auto& [name, value] : eval.importances) {
+    EXPECT_FALSE(name.empty());
+    sum += value;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Descending order.
+  for (std::size_t i = 1; i < eval.importances.size(); ++i) {
+    EXPECT_GE(eval.importances[i - 1].second, eval.importances[i].second);
+  }
+}
+
+TEST(SchedulerModel, TooLittleDataHandledGracefully) {
+  CampaignData tiny;
+  tiny.terminal_names = {"Iowa"};
+  const ModelEvaluation eval = train_scheduler_model(tiny);
+  EXPECT_TRUE(eval.forest_top_k.empty());
+  EXPECT_EQ(eval.train_rows, 0u);
+}
+
+}  // namespace
+}  // namespace starlab::core

@@ -1,0 +1,79 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace starlab::analysis {
+namespace {
+
+const std::vector<double> kV{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kV), 5.0);
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{42.0}), 42.0);
+}
+
+TEST(Stats, StdDev) {
+  // Sample stddev of kV: sum sq dev = 32, / 7 -> sqrt(4.571...) = 2.138.
+  EXPECT_NEAR(stddev(kV), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_TRUE(std::isnan(median({})));
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> ny{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonKnownValue) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 5.0};
+  // Hand-computed: sxy = 8, sxx = syy = 10 -> r = 0.8.
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  EXPECT_TRUE(std::isnan(pearson(std::vector<double>{1.0, 1.0},
+                                 std::vector<double>{1.0, 2.0})));
+  EXPECT_TRUE(std::isnan(pearson(std::vector<double>{1.0},
+                                 std::vector<double>{1.0})));
+  EXPECT_TRUE(std::isnan(pearson(std::vector<double>{1.0, 2.0},
+                                 std::vector<double>{1.0, 2.0, 3.0})));
+}
+
+TEST(Stats, FractionInRange) {
+  EXPECT_DOUBLE_EQ(fraction_in_range(kV, 4.0, 5.0), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(fraction_in_range(kV, 100.0, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_in_range(kV, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_in_range({}, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace starlab::analysis

@@ -1,0 +1,96 @@
+#include "constellation/walker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace starlab::constellation {
+namespace {
+
+TEST(Walker, CircularMeanMotionAt550Km) {
+  // A 550 km circular orbit has a ~95.6 min period -> ~15.06 rev/day.
+  EXPECT_NEAR(circular_mean_motion_rev_per_day(550.0), 15.06, 0.05);
+}
+
+TEST(Walker, MeanMotionDecreasesWithAltitude) {
+  EXPECT_GT(circular_mean_motion_rev_per_day(540.0),
+            circular_mean_motion_rev_per_day(570.0));
+}
+
+TEST(Walker, GeneratesExactCount) {
+  const WalkerShell shell{53.0, 550.0, 72, 22, 17, 0.0};
+  EXPECT_EQ(generate_walker(shell).size(), 72u * 22u);
+  EXPECT_EQ(shell.total_satellites(), 1584);
+}
+
+TEST(Walker, PlanesAreEquallySpacedInRaan) {
+  const WalkerShell shell{53.0, 550.0, 8, 4, 1, 0.0};
+  const auto elements = generate_walker(shell);
+  std::set<double> raans;
+  for (const WalkerElement& e : elements) raans.insert(e.raan_deg);
+  ASSERT_EQ(raans.size(), 8u);
+  std::vector<double> sorted(raans.begin(), raans.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_NEAR(sorted[i] - sorted[i - 1], 45.0, 1e-9);
+  }
+}
+
+TEST(Walker, SlotsAreEquallySpacedInAnomaly) {
+  const WalkerShell shell{53.0, 550.0, 4, 6, 0, 0.0};
+  const auto elements = generate_walker(shell);
+  // Plane 0: anomalies 0, 60, ..., 300.
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_NEAR(elements[static_cast<std::size_t>(s)].mean_anomaly_deg,
+                s * 60.0, 1e-9);
+  }
+}
+
+TEST(Walker, PhasingOffsetsAdjacentPlanes) {
+  const WalkerShell shell{53.0, 550.0, 4, 6, 2, 0.0};
+  const auto elements = generate_walker(shell);
+  // F=2, T=24: adjacent-plane offset is 2*360/24 = 30 deg.
+  const double plane0_slot0 = elements[0].mean_anomaly_deg;
+  const double plane1_slot0 = elements[6].mean_anomaly_deg;
+  EXPECT_NEAR(plane1_slot0 - plane0_slot0, 30.0, 1e-9);
+}
+
+TEST(Walker, RaanOffsetRotatesWholePattern) {
+  const WalkerShell base{53.0, 550.0, 6, 4, 1, 0.0};
+  WalkerShell rotated = base;
+  rotated.raan_offset_deg = 10.0;
+  const auto a = generate_walker(base);
+  const auto b = generate_walker(rotated);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double diff = b[i].raan_deg - a[i].raan_deg;
+    if (diff < 0.0) diff += 360.0;
+    EXPECT_NEAR(diff, 10.0, 1e-9);
+  }
+}
+
+TEST(Walker, Gen1ShellsMatchLicensedCounts) {
+  const auto shells = starlink_gen1_shells();
+  ASSERT_EQ(shells.size(), 4u);
+  int total = 0;
+  for (const WalkerShell& s : shells) total += s.total_satellites();
+  // 1584 + 1584 + 720 + 348 == 4236, the ~4000-satellite constellation the
+  // paper describes.
+  EXPECT_EQ(total, 4236);
+  EXPECT_NEAR(shells[0].inclination_deg, 53.0, 1e-9);
+  EXPECT_NEAR(shells[3].inclination_deg, 97.6, 1e-9);
+}
+
+TEST(Walker, AllElementsWithinAngleRanges) {
+  for (const WalkerShell& shell : starlink_gen1_shells()) {
+    for (const WalkerElement& e : generate_walker(shell)) {
+      EXPECT_GE(e.raan_deg, 0.0);
+      EXPECT_LT(e.raan_deg, 360.0);
+      EXPECT_GE(e.mean_anomaly_deg, 0.0);
+      EXPECT_LT(e.mean_anomaly_deg, 360.0);
+      EXPECT_GT(e.mean_motion_rev_per_day, 14.0);
+      EXPECT_LT(e.mean_motion_rev_per_day, 16.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starlab::constellation
