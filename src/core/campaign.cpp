@@ -1,5 +1,8 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+
+#include "fault/injectors.hpp"
 #include "sun/solar_ephemeris.hpp"
 
 namespace starlab::core {
@@ -29,6 +32,11 @@ CampaignData run_campaign(const Scenario& scenario,
       config.duration_hours * 3600.0 / grid.period_seconds());
   const scheduler::GlobalScheduler& global = scenario.global_scheduler();
   const constellation::Catalog& catalog = scenario.catalog();
+  const fault::FaultPlan& plan =
+      config.faults.has_value() ? *config.faults : scenario.fault_plan();
+  const fault::SlotDropoutInjector dropout(plan);
+  const bool inject_dropout =
+      plan.intensity > 0.0 && plan.dropout.rate > 0.0;
 
   for (time::SlotIndex s = first; s < first + num_slots;
        s += config.slot_stride) {
@@ -44,12 +52,24 @@ CampaignData run_campaign(const Scenario& scenario,
       std::vector<ground::Candidate> candidates =
           terminal.candidates_from_snapshots(catalog, snaps, jd);
 
+      bool any_dropped = false;
+      if (inject_dropout) {
+        const auto is_dropped = [&](const ground::Candidate& c) {
+          return dropout.dropped(c.sky.norad_id, s);
+        };
+        const auto removed =
+            std::remove_if(candidates.begin(), candidates.end(), is_dropped);
+        any_dropped = removed != candidates.end();
+        candidates.erase(removed, candidates.end());
+      }
+
       SlotObs obs;
       obs.slot = s;
       obs.terminal_index = ti;
       obs.unix_mid = t_mid;
       obs.local_hour =
           sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+      if (any_dropped) obs.quality |= quality::kCandidateDropout;
 
       // Record the usable candidates (paper: "available satellites").
       for (const ground::Candidate& c : candidates) {
@@ -69,6 +89,7 @@ CampaignData run_campaign(const Scenario& scenario,
           }
         }
       }
+      if (!obs.has_choice()) obs.confidence = 0.0;
       data.slots.push_back(std::move(obs));
     }
   }

@@ -11,6 +11,7 @@
 // (see core/pipeline.hpp) or directly from the oracle, which §4's >99 %
 // agreement validates as interchangeable for the downstream analyses.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,18 @@
 #include "core/scenario.hpp"
 
 namespace starlab::core {
+
+/// Per-slot data-quality flags. A clean slot carries 0; degraded inputs set
+/// bits so downstream statistics can filter or weight instead of silently
+/// absorbing damaged observations.
+namespace quality {
+inline constexpr std::uint32_t kFrameMissing = 1u << 0;  ///< frame poll failed
+inline constexpr std::uint32_t kStaleBaseline = 1u << 1;  ///< XOR ran against a frame older than slot-1
+inline constexpr std::uint32_t kFrameCorrupted = 1u << 2;  ///< observed frame had flipped bits
+inline constexpr std::uint32_t kAbstained = 1u << 3;  ///< identifier declined to answer
+inline constexpr std::uint32_t kResetDetected = 1u << 4;  ///< unnoticed reboot between frames
+inline constexpr std::uint32_t kCandidateDropout = 1u << 5;  ///< >=1 candidate dropped from this slot
+}  // namespace quality
 
 /// One available satellite as recorded for one slot.
 struct CandidateObs {
@@ -36,6 +49,10 @@ struct SlotObs {
   double local_hour = 0.0;    ///< local solar hour at the terminal
   std::vector<CandidateObs> available;  ///< usable candidates
   int chosen = -1;            ///< index into `available`; -1 if none
+  std::uint32_t quality = 0;  ///< quality:: flags; 0 == clean observation
+  /// Confidence in `chosen`: 1 for oracle-labeled campaigns, the match
+  /// confidence for §4-inferred ones, 0 when there is no choice.
+  double confidence = 1.0;
 
   [[nodiscard]] bool has_choice() const { return chosen >= 0; }
   [[nodiscard]] const CandidateObs& chosen_candidate() const {
@@ -61,6 +78,10 @@ struct CampaignConfig {
   /// about per-slot *distributions*, so thinning trades time for variance
   /// without bias.
   int slot_stride = 1;
+  /// Fault plan for this run; unset falls back to the scenario's plan. The
+  /// campaign applies the per-slot satellite-dropout injector (candidates
+  /// vanish before the scheduler sees them).
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// Run a campaign over the scenario's terminals starting at its TLE epoch.

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "fault/injectors.hpp"
 #include "sun/solar_ephemeris.hpp"
 
 namespace starlab::core {
@@ -20,6 +21,22 @@ std::size_t PipelineResult::decided() const {
   std::size_t n = 0;
   for (const SlotIdentification& r : rows) {
     if (r.inferred_norad.has_value()) ++n;
+  }
+  return n;
+}
+
+std::size_t PipelineResult::abstained() const {
+  std::size_t n = 0;
+  for (const SlotIdentification& r : rows) {
+    if (r.abstained()) ++n;
+  }
+  return n;
+}
+
+std::size_t PipelineResult::flagged(std::uint32_t quality_bit) const {
+  std::size_t n = 0;
+  for (const SlotIdentification& r : rows) {
+    if ((r.quality & quality_bit) != 0) ++n;
   }
   return n;
 }
@@ -65,6 +82,9 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
                                obsmap::TrajectoryPainter(geometry_));
   match::SatelliteIdentifier identifier(scenario_.catalog(), geometry_, grid,
                                         config_.identifier);
+  const fault::FaultPlan& plan =
+      config_.faults.has_value() ? *config_.faults : scenario_.fault_plan();
+  const fault::FrameFaultInjector frame_faults(plan);
 
   const time::SlotIndex first = scenario_.first_slot();
   const auto num_slots =
@@ -72,35 +92,60 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
   const auto slots_per_reset = static_cast<time::SlotIndex>(
       config_.reset_interval_sec / grid.period_seconds());
 
+  // The last frame the pipeline *observed* (a dropped poll leaves it where
+  // it was, so the next XOR runs against a stale baseline) and how many
+  // polls failed since then.
   std::optional<obsmap::ObstructionMap> prev_frame;
+  std::size_t polls_missed_since_prev = 0;
   for (time::SlotIndex s = first; s < first + num_slots; ++s) {
     // Scheduled terminal reset: wipes the frame, so the following slot has
     // no previous frame to XOR against and is skipped (as in the paper).
     if (slots_per_reset > 0 && (s - first) % slots_per_reset == 0 && s != first) {
       recorder.reset();
       prev_frame.reset();
+      polls_missed_since_prev = 0;
     }
 
     const std::optional<scheduler::Allocation> truth =
         global.allocate(terminal, s);
-    const obsmap::ObstructionMap frame = recorder.record_slot(truth);
+    // The dish always paints; faults only affect what the poll observes.
+    obsmap::ObstructionMap frame = recorder.record_slot(truth);
+
+    SlotIdentification row;
+    row.slot = s;
+    if (truth.has_value()) row.truth_norad = truth->norad_id;
+
+    if (frame_faults.frame_dropped(terminal_index, s)) {
+      // No frame observed: this slot is undecidable, and the stale baseline
+      // taints the next XOR (flagged there as kStaleBaseline).
+      row.quality |= quality::kFrameMissing;
+      result.rows.push_back(row);
+      ++polls_missed_since_prev;
+      continue;
+    }
+    if (frame_faults.corrupt(frame, terminal_index, s) > 0) {
+      row.quality |= quality::kFrameCorrupted;
+    }
 
     if (prev_frame.has_value()) {
-      SlotIdentification row;
-      row.slot = s;
-      if (truth.has_value()) row.truth_norad = truth->norad_id;
+      if (polls_missed_since_prev > 0) row.quality |= quality::kStaleBaseline;
 
       const match::Identification id =
           identifier.identify(terminal, s, *prev_frame, frame);
       row.num_candidates = id.num_candidates;
       row.trajectory_pixels = id.trajectory_pixels;
+      row.confidence = id.confidence;
+      row.abstain = id.abstain;
+      if (id.abstained()) row.quality |= quality::kAbstained;
+      if (id.reset_detected) row.quality |= quality::kResetDetected;
       if (id.best.has_value()) {
         row.inferred_norad = id.best->norad_id;
         row.dtw = id.best->dtw;
       }
       result.rows.push_back(row);
     }
-    prev_frame = frame;
+    prev_frame = std::move(frame);
+    polls_missed_since_prev = 0;
   }
   return result;
 }
@@ -127,6 +172,8 @@ CampaignData InferencePipeline::run_inferred_campaign(
       obs.unix_mid = t_mid;
       obs.local_hour =
           sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+      obs.quality = row.quality;
+      obs.confidence = row.inferred_norad.has_value() ? row.confidence : 0.0;
       for (const ground::Candidate& c :
            terminal.usable_candidates(scenario_.catalog(), jd)) {
         if (row.inferred_norad.has_value() &&

@@ -28,6 +28,13 @@ struct SlotIdentification {
   double dtw = 0.0;                   ///< winning DTW distance
   int num_candidates = 0;
   std::size_t trajectory_pixels = 0;
+  std::uint32_t quality = 0;  ///< quality:: flags for this slot's inputs
+  double confidence = 0.0;    ///< identifier confidence in `inferred_norad`
+  match::AbstainReason abstain = match::AbstainReason::kNone;
+
+  [[nodiscard]] bool abstained() const {
+    return abstain != match::AbstainReason::kNone;
+  }
 
   /// True when the pipeline names exactly the serving satellite.
   [[nodiscard]] bool correct() const {
@@ -45,6 +52,12 @@ struct PipelineResult {
 
   /// Number of slots where the pipeline produced an answer.
   [[nodiscard]] std::size_t decided() const;
+
+  /// Number of slots where the identifier explicitly declined to answer.
+  [[nodiscard]] std::size_t abstained() const;
+
+  /// Number of rows carrying a given quality:: flag.
+  [[nodiscard]] std::size_t flagged(std::uint32_t quality_bit) const;
 };
 
 struct PipelineConfig {
@@ -55,6 +68,10 @@ struct PipelineConfig {
   /// published parameters.
   bool recover_geometry = false;
   double fill_hours = 48.0;  ///< fill-phase length for geometry recovery
+  /// Fault plan for this run; unset falls back to the scenario's plan. The
+  /// pipeline applies the obstruction-map frame injector (dropped polls,
+  /// bit flips) to what it observes — never to the dish's true state.
+  std::optional<fault::FaultPlan> faults;
 };
 
 class InferencePipeline {

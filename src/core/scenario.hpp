@@ -10,6 +10,7 @@
 
 #include "constellation/catalog.hpp"
 #include "constellation/synthesizer.hpp"
+#include "fault/fault_plan.hpp"
 #include "ground/gateway.hpp"
 #include "ground/sites.hpp"
 #include "ground/terminal.hpp"
@@ -33,6 +34,10 @@ struct ScenarioConfig {
   /// paper's vantage points (validated in tests), and leaving it off keeps
   /// the calibrated statistics exactly reproducible.
   bool attach_gateway_network = false;
+  /// Fault injection applied by campaigns and pipelines run over this
+  /// scenario (they can also override it per run). The default plan has
+  /// every rate at 0, i.e. clean data.
+  fault::FaultPlan faults;
 };
 
 class Scenario {
@@ -66,6 +71,9 @@ class Scenario {
     return mac_;
   }
   [[nodiscard]] const time::SlotGrid& grid() const { return config_.grid; }
+  [[nodiscard]] const fault::FaultPlan& fault_plan() const {
+    return config_.faults;
+  }
 
   /// The campaign's natural start time: the constellation's TLE epoch
   /// (propagation error grows with time-from-epoch, as it would with a

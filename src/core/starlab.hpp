@@ -29,6 +29,8 @@
 #include "core/scenario.hpp"            // IWYU pragma: export
 #include "core/satellite_predictor.hpp"  // IWYU pragma: export
 #include "core/scheduler_model.hpp"     // IWYU pragma: export
+#include "fault/fault_plan.hpp"         // IWYU pragma: export
+#include "fault/injectors.hpp"          // IWYU pragma: export
 #include "geo/geodetic.hpp"             // IWYU pragma: export
 #include "geo/gso_arc.hpp"              // IWYU pragma: export
 #include "geo/topocentric.hpp"          // IWYU pragma: export

@@ -1,0 +1,212 @@
+#include "fault/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "scheduler/stochastic.hpp"
+#include "tle/catalog_io.hpp"
+
+namespace starlab::fault {
+
+namespace {
+
+// Per-injector key-domain tags: keeps the hash streams of the different
+// injectors (and of the scheduler oracles, which share the same mixer)
+// disjoint even under one seed.
+constexpr std::uint64_t kTagFrameDrop = 0xFA01;
+constexpr std::uint64_t kTagBitFlip = 0xFA02;
+constexpr std::uint64_t kTagDropout = 0xFA03;
+constexpr std::uint64_t kTagSpike = 0xFA04;
+constexpr std::uint64_t kTagClockStep = 0xFA05;
+constexpr std::uint64_t kTagGeSeed = 0xFA06;
+constexpr std::uint64_t kTagTleLine = 0xFA07;
+
+double draw(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+            std::uint64_t b = 0) {
+  return scheduler::uniform01(scheduler::mix_keys(seed, tag, a, b));
+}
+
+int days_in_year(int year) {
+  const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  return leap ? 366 : 365;
+}
+
+}  // namespace
+
+bool FrameFaultInjector::frame_dropped(std::size_t terminal_index,
+                                       time::SlotIndex slot) const {
+  const double rate = plan_.frame.drop_rate * plan_.intensity;
+  if (rate <= 0.0) return false;
+  return draw(plan_.seed, kTagFrameDrop, terminal_index,
+              static_cast<std::uint64_t>(slot)) < rate;
+}
+
+std::size_t FrameFaultInjector::corrupt(obsmap::ObstructionMap& frame,
+                                        std::size_t terminal_index,
+                                        time::SlotIndex slot) const {
+  const double rate = plan_.frame.bit_flip_rate * plan_.intensity;
+  if (rate <= 0.0) return 0;
+  std::size_t flipped = 0;
+  const std::uint64_t frame_key = scheduler::mix_keys(
+      plan_.seed, kTagBitFlip, terminal_index, static_cast<std::uint64_t>(slot));
+  for (int y = 0; y < obsmap::ObstructionMap::kSize; ++y) {
+    for (int x = 0; x < obsmap::ObstructionMap::kSize; ++x) {
+      const auto pixel_index = static_cast<std::uint64_t>(
+          y * obsmap::ObstructionMap::kSize + x);
+      if (scheduler::uniform01(scheduler::mix_keys(frame_key, pixel_index)) <
+          rate) {
+        frame.set(x, y, !frame.get(x, y));
+        ++flipped;
+      }
+    }
+  }
+  return flipped;
+}
+
+bool SlotDropoutInjector::dropped(int norad_id, time::SlotIndex slot) const {
+  const double rate = plan_.dropout.rate * plan_.intensity;
+  if (rate <= 0.0) return false;
+  return draw(plan_.seed, kTagDropout, static_cast<std::uint64_t>(norad_id),
+              static_cast<std::uint64_t>(slot)) < rate;
+}
+
+measurement::GilbertElliottConfig RttFaultInjector::overlay_config() const {
+  // Bad state loses everything, Good state nothing; the dwell time in Bad
+  // sets the burst length and the Good->Bad rate is solved so the stationary
+  // loss equals the requested marginal rate.
+  measurement::GilbertElliottConfig cfg;
+  cfg.loss_bad = 1.0;
+  cfg.loss_good = 0.0;
+  const double mean_burst = std::max(1.0, plan_.rtt.mean_burst_probes);
+  cfg.p_bad_to_good = 1.0 / mean_burst;
+  const double target =
+      std::clamp(plan_.rtt.extra_loss_rate * plan_.intensity, 0.0, 0.95);
+  cfg.p_good_to_bad =
+      target <= 0.0 ? 0.0 : cfg.p_bad_to_good * target / (1.0 - target);
+  return cfg;
+}
+
+void RttFaultInjector::apply(measurement::RttSeries& series) const {
+  const double loss = plan_.rtt.extra_loss_rate * plan_.intensity;
+  const double spike_rate = plan_.rtt.spike_rate * plan_.intensity;
+  if (loss <= 0.0 && spike_rate <= 0.0) return;
+
+  measurement::GilbertElliott overlay(
+      overlay_config(), scheduler::mix_keys(plan_.seed, kTagGeSeed));
+  const double spike_ms = plan_.rtt.spike_ms * plan_.intensity;
+  for (std::size_t i = 0; i < series.samples.size(); ++i) {
+    measurement::RttSample& s = series.samples[i];
+    if (loss > 0.0 && overlay.step() && !s.lost) {
+      s.lost = true;
+      s.rtt_ms = 0.0;
+    }
+    if (!s.lost && spike_rate > 0.0 &&
+        draw(plan_.seed, kTagSpike, i) < spike_rate) {
+      s.rtt_ms += spike_ms;
+    }
+  }
+}
+
+double ClockFaultInjector::offset_sec(double true_unix_sec) const {
+  const double step_sec = plan_.clock.step_ms * plan_.intensity / 1000.0;
+  const double drift = plan_.clock.drift_ppm * plan_.intensity * 1e-6;
+  if (step_sec == 0.0 && drift == 0.0) return 0.0;
+  const double interval = std::max(1.0, plan_.clock.step_interval_sec);
+  const double epoch = std::floor(true_unix_sec / interval);
+  const double u =
+      draw(plan_.seed, kTagClockStep,
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(epoch)));
+  const double since_sync = true_unix_sec - epoch * interval;
+  return step_sec * (2.0 * u - 1.0) + drift * since_sync;
+}
+
+void ClockFaultInjector::apply(measurement::RttSeries& series) const {
+  if (plan_.clock.step_ms * plan_.intensity == 0.0 &&
+      plan_.clock.drift_ppm * plan_.intensity == 0.0) {
+    return;
+  }
+  for (measurement::RttSample& s : series.samples) {
+    s.unix_sec += offset_sec(s.unix_sec);
+  }
+}
+
+std::string TleFaultInjector::corrupt_catalog(const std::string& text) const {
+  const double corrupt_rate = plan_.tle.corrupt_rate * plan_.intensity;
+  const double truncate_rate = plan_.tle.truncate_rate * plan_.intensity;
+  const double stale_days = plan_.tle.stale_days * plan_.intensity;
+  if (corrupt_rate <= 0.0 && truncate_rate <= 0.0 && stale_days <= 0.0) {
+    return text;
+  }
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+
+  auto is_element_line = [](const std::string& s, char which) {
+    return s.size() >= 2 && s[0] == which && s[1] == ' ';
+  };
+
+  std::ostringstream out;
+  std::uint64_t record = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!(is_element_line(lines[i], '1') && i + 1 < lines.size() &&
+          is_element_line(lines[i + 1], '2'))) {
+      out << lines[i] << '\n';
+      continue;
+    }
+
+    std::string line1 = lines[i];
+    std::string line2 = lines[i + 1];
+    ++i;  // consume line 2 as well
+    const std::uint64_t r = record++;
+
+    if (stale_days > 0.0) {
+      try {
+        tle::Tle t = tle::Tle::parse(line1, line2);
+        t.epoch_day -= stale_days;
+        while (t.epoch_day < 1.0) {
+          --t.epoch_year;
+          t.epoch_day += days_in_year(t.epoch_year);
+        }
+        line1 = t.format_line1();
+        line2 = t.format_line2();
+      } catch (const tle::TleParseError&) {
+        // Already-damaged input records pass through untouched.
+      }
+    }
+
+    if (draw(plan_.seed, kTagTleLine, r, 1) < truncate_rate) {
+      out << line1 << '\n';  // line 2 lost in transit
+      continue;
+    }
+    if (draw(plan_.seed, kTagTleLine, r, 2) < corrupt_rate) {
+      // Flip one character of one element line to a different digit; any
+      // such change breaks the record's mod-10 checksum.
+      const std::uint64_t key = scheduler::mix_keys(plan_.seed, kTagTleLine, r, 3);
+      std::string& victim = (key & 1) ? line2 : line1;
+      if (victim.size() >= 69) {
+        const auto pos = static_cast<std::size_t>((key >> 1) % 60) + 2;
+        const char old = victim[pos];
+        // Replacement chosen so the checksum contribution always changes by
+        // exactly 1 (mod 10): '-' counts as 1, digits as themselves, other
+        // characters as 0.
+        if (old == '9') victim[pos] = '0';
+        else if (old >= '0' && old <= '8') victim[pos] = static_cast<char>(old + 1);
+        else if (old == '-') victim[pos] = '2';
+        else victim[pos] = '1';
+      }
+    }
+    out << line1 << '\n' << line2 << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace starlab::fault

@@ -1,0 +1,104 @@
+#pragma once
+
+// The fault injectors configured by a FaultPlan.
+//
+// Every injector is a pure function of (plan seed, entity, counter) via the
+// same counter-based splitmix64 hashing the scheduler oracles use, so a
+// faulted run replays exactly and two consumers asking about the same
+// (terminal, slot) see the same fault. All rates and magnitudes are scaled
+// by the plan's global intensity; at intensity 0 every injector is a no-op.
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "measurement/loss_model.hpp"
+#include "measurement/rtt_prober.hpp"
+#include "obsmap/obstruction_map.hpp"
+#include "time/slot_grid.hpp"
+
+namespace starlab::fault {
+
+/// Drops and corrupts observed obstruction-map frames.
+class FrameFaultInjector {
+ public:
+  explicit FrameFaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// True when the end-of-slot frame poll for (terminal, slot) fails.
+  [[nodiscard]] bool frame_dropped(std::size_t terminal_index,
+                                   time::SlotIndex slot) const;
+
+  /// Flip pixels of an observed frame in place (per-pixel Bernoulli at the
+  /// scaled bit-flip rate). Returns the number of flipped pixels; 0 leaves
+  /// the frame bit-identical.
+  std::size_t corrupt(obsmap::ObstructionMap& frame,
+                      std::size_t terminal_index, time::SlotIndex slot) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Removes individual satellites from the usable set for single slots.
+class SlotDropoutInjector {
+ public:
+  explicit SlotDropoutInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// True when `norad_id` is unavailable during `slot`.
+  [[nodiscard]] bool dropped(int norad_id, time::SlotIndex slot) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Overlays Gilbert-Elliott burst loss and outlier spikes on an RTT series.
+class RttFaultInjector {
+ public:
+  explicit RttFaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// The overlay chain implied by the plan: loss_bad == 1, loss_good == 0,
+  /// mean Bad dwell == mean_burst_probes, stationary loss == the scaled
+  /// extra_loss_rate.
+  [[nodiscard]] measurement::GilbertElliottConfig overlay_config() const;
+
+  /// Mark additional (bursty) losses and add spikes, in place. Deterministic
+  /// in the plan seed and the series length; a series already marked lost is
+  /// left lost.
+  void apply(measurement::RttSeries& series) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Clock step/drift error for a vantage point's local clock.
+class ClockFaultInjector {
+ public:
+  explicit ClockFaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Local-minus-true clock offset [s] at a true time: a per-sync-epoch
+  /// uniform step in [-step_ms, step_ms] plus linear drift accumulated since
+  /// the last sync.
+  [[nodiscard]] double offset_sec(double true_unix_sec) const;
+
+  /// Re-timestamp a series through the faulty clock, in place.
+  void apply(measurement::RttSeries& series) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Damages TLE catalog text the way stale or truncated CelesTrak pulls do.
+/// Pair with tle::read_catalog_lenient to measure skip-and-report behavior.
+class TleFaultInjector {
+ public:
+  explicit TleFaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Corrupt a 3-line/2-line catalog text: per-record character corruption
+  /// (breaks the checksum), line-2 truncation, and epoch staleness (aged by
+  /// stale_days with checksums recomputed, so stale records still parse).
+  [[nodiscard]] std::string corrupt_catalog(const std::string& text) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace starlab::fault

@@ -40,14 +40,19 @@ measurement::RttSeries load_rtt_series(std::istream& in) {
   for (std::size_t r = 2; r < rows.size(); ++r) {
     const CsvRow& row = rows[r];
     if (row.size() != 4) {
-      throw std::runtime_error("RTT CSV row width mismatch at line " +
-                               std::to_string(r + 1));
+      throw std::runtime_error("RTT CSV " +
+                               csv_width_error(r + 1, 4, row.size()));
     }
     measurement::RttSample s;
-    s.unix_sec = std::stod(row[0]);
-    s.lost = row[2] == "1";
-    if (!s.lost) s.rtt_ms = std::stod(row[1]);
-    s.slot = static_cast<time::SlotIndex>(std::stoll(row[3]));
+    try {
+      s.unix_sec = std::stod(row[0]);
+      s.lost = row[2] == "1";
+      if (!s.lost) s.rtt_ms = std::stod(row[1]);
+      s.slot = static_cast<time::SlotIndex>(std::stoll(row[3]));
+    } catch (const std::exception&) {
+      throw std::runtime_error("RTT CSV row " + std::to_string(r + 1) +
+                               ": unparsable numeric field");
+    }
     series.samples.push_back(s);
   }
   return series;

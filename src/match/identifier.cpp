@@ -28,12 +28,36 @@ Identification SatelliteIdentifier::identify_isolated(
     const obsmap::ObstructionMap& isolated) const {
   Identification out;
 
-  const std::vector<Point2> traj =
-      config_.use_largest_component
-          ? extract_trajectory(obsmap::largest_component(isolated), geometry_)
-          : extract_trajectory(isolated, geometry_);
+  std::vector<Point2> traj;
+  if (config_.use_largest_component) {
+    const std::vector<std::vector<obsmap::Pixel>> components =
+        obsmap::connected_components(isolated);
+    out.num_components = components.size();
+    if (!components.empty()) {
+      obsmap::ObstructionMap dominant;
+      for (const obsmap::Pixel& p : components.front()) dominant.set(p);
+      traj = extract_trajectory(dominant, geometry_);
+    }
+    // Two comparable blobs mean two satellites' paths ended up in one
+    // isolated frame (stale XOR baseline, mid-window reboot): whichever one
+    // we match, the slot attribution would be a guess.
+    if (config_.ambiguous_component_ratio > 0.0 && components.size() >= 2 &&
+        components[1].size() >= config_.min_trajectory_pixels &&
+        static_cast<double>(components[1].size()) >=
+            config_.ambiguous_component_ratio *
+                static_cast<double>(components[0].size())) {
+      out.abstain = AbstainReason::kAmbiguousComponents;
+    }
+  } else {
+    traj = extract_trajectory(isolated, geometry_);
+    out.num_components = isolated.popcount() > 0 ? 1 : 0;
+  }
   out.trajectory_pixels = traj.size();
-  if (traj.size() < config_.min_trajectory_pixels) return out;
+  if (traj.size() < config_.min_trajectory_pixels) {
+    out.abstain = AbstainReason::kStarvedTrajectory;
+    return out;
+  }
+  if (out.abstained()) return out;
 
   // The map does not encode direction of motion: score both traversals.
   std::vector<Point2> reversed(traj.rbegin(), traj.rend());
@@ -64,11 +88,49 @@ Identification SatelliteIdentifier::identify_isolated(
             [](const MatchScore& a, const MatchScore& b) {
               return a.dtw < b.dtw;
             });
-  if (!out.ranked.empty() && out.ranked.front().dtw < 1e300) {
-    out.best = out.ranked.front();
+  if (out.ranked.empty() || out.ranked.front().dtw >= 1e300) return out;
+
+  const double d_best = out.ranked.front().dtw;
+  double margin = 1.0;
+  if (out.ranked.size() >= 2 && out.ranked[1].dtw < 1e300 &&
+      out.ranked[1].dtw > 0.0) {
+    margin = (out.ranked[1].dtw - d_best) / out.ranked[1].dtw;
   }
+  const double fit = config_.abstain_max_dtw > 0.0
+                         ? std::max(0.0, 1.0 - d_best / config_.abstain_max_dtw)
+                         : 1.0;
+  out.confidence = margin * fit;
+
+  if (config_.abstain_max_dtw > 0.0 && d_best > config_.abstain_max_dtw) {
+    out.abstain = AbstainReason::kHighDistance;
+    out.confidence = 0.0;
+    return out;
+  }
+  if (config_.abstain_margin > 0.0 && margin < config_.abstain_margin) {
+    out.abstain = AbstainReason::kLowMargin;
+    out.confidence = 0.0;
+    return out;
+  }
+  out.best = out.ranked.front();
   return out;
 }
+
+namespace {
+
+/// Pixels set in `prev` but missing from `curr` — the evidence that the
+/// dish's monotone accumulation was interrupted.
+int pixels_lost(const obsmap::ObstructionMap& prev,
+                const obsmap::ObstructionMap& curr) {
+  int lost = 0;
+  for (int y = 0; y < obsmap::ObstructionMap::kSize; ++y) {
+    for (int x = 0; x < obsmap::ObstructionMap::kSize; ++x) {
+      if (prev.get(x, y) && !curr.get(x, y)) ++lost;
+    }
+  }
+  return lost;
+}
+
+}  // namespace
 
 Identification SatelliteIdentifier::identify(
     const ground::Terminal& terminal, time::SlotIndex slot,
@@ -77,8 +139,16 @@ Identification SatelliteIdentifier::identify(
   // A dish accumulates monotonically between reboots: if the previous frame
   // is NOT a subset of the current one, the dish was reset in between and
   // the current frame holds only the newest trajectory — use it directly
-  // instead of an XOR that would resurrect the whole old sky.
-  if (!prev_frame.subset_of(curr_frame)) {
+  // instead of an XOR that would resurrect the whole old sky. A few lost
+  // pixels are tolerated (transport bit flips, see reset_pixel_tolerance):
+  // they end up as stray XOR pixels that the largest-component filter
+  // already discards, while treating them as a reboot would wrongly match
+  // against the whole accumulated sky.
+  const bool reset = config_.reset_pixel_tolerance > 0
+                         ? pixels_lost(prev_frame, curr_frame) >
+                               config_.reset_pixel_tolerance
+                         : !prev_frame.subset_of(curr_frame);
+  if (reset) {
     Identification id = identify_isolated(terminal, slot, curr_frame);
     id.reset_detected = true;
     return id;

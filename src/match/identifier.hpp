@@ -29,9 +29,21 @@ struct MatchScore {
   double dtw = 1e300;  ///< normalized DTW distance (lower is better)
 };
 
+/// Why the identifier declined to name a satellite. With degraded inputs
+/// (dropped frames, bit flips, stale XOR baselines) guessing is worse than
+/// abstaining: an abstained slot is simply missing from the §5 statistics,
+/// while a mis-identified one poisons them.
+enum class AbstainReason {
+  kNone = 0,             ///< not abstained: `best` carries the answer
+  kStarvedTrajectory,    ///< too few trajectory pixels to match
+  kAmbiguousComponents,  ///< two comparable blobs: trajectories got mixed
+  kHighDistance,         ///< even the best candidate matches poorly
+  kLowMargin,            ///< runner-up is indistinguishable from the winner
+};
+
 /// Identification outcome for one slot.
 struct Identification {
-  std::optional<MatchScore> best;     ///< empty if no candidate/trajectory
+  std::optional<MatchScore> best;     ///< empty if abstained / no evidence
   std::vector<MatchScore> ranked;     ///< all candidates, ascending DTW
   std::size_t trajectory_pixels = 0;  ///< size of the isolated trajectory
   int num_candidates = 0;
@@ -39,6 +51,17 @@ struct Identification {
   /// frame lost pixels the old one had); identification then ran on the
   /// fresh frame directly instead of the XOR.
   bool reset_detected = false;
+  /// Connected components in the isolated frame (diagnostic; 1 is clean).
+  std::size_t num_components = 0;
+  /// Confidence in `best`, in [0, 1]: the relative DTW margin over the
+  /// runner-up, attenuated when the winning distance itself is poor. 0 when
+  /// abstained or without evidence.
+  double confidence = 0.0;
+  AbstainReason abstain = AbstainReason::kNone;
+
+  [[nodiscard]] bool abstained() const {
+    return abstain != AbstainReason::kNone;
+  }
 };
 
 struct IdentifierConfig {
@@ -50,6 +73,28 @@ struct IdentifierConfig {
   /// stray un-cancelled pixels from partial overlaps would otherwise drag
   /// the chained trajectory across the sky.
   bool use_largest_component = true;
+
+  // Abstention thresholds. Each one set to 0 disables that check (the
+  // identifier then answers whenever it has any finite-distance candidate,
+  // the pre-abstention behavior).
+  /// Abstain when the runner-up's DTW distance is within this relative
+  /// margin of the winner's: the evidence cannot tell the two apart.
+  double abstain_margin = 0.02;
+  /// Abstain when the winning normalized DTW distance (squared pixels per
+  /// warping step) exceeds this: nothing in the sky actually fits the blob.
+  double abstain_max_dtw = 30.0;
+  /// Abstain when the second-largest connected component holds at least
+  /// this fraction of the largest one's pixels (and is itself at least
+  /// min_trajectory_pixels): two trajectories are mixed in one frame, and
+  /// which of them belongs to *this* slot is unknowable.
+  double ambiguous_component_ratio = 0.6;
+  /// Reset detection: how many accumulated pixels the current frame may
+  /// have *lost* before the pair is declared a reboot. A genuine reset
+  /// wipes hundreds of pixels; transport bit flips lose a handful, and a
+  /// strict subset test would misread every flipped pixel as a reset. 0
+  /// keeps the strict test. On clean frames nothing is ever lost, so any
+  /// tolerance leaves clean-data behavior bit-identical.
+  int reset_pixel_tolerance = 8;
 };
 
 class SatelliteIdentifier {

@@ -29,10 +29,12 @@ struct RttSeries {
   double interval_ms = 20.0;
   std::vector<RttSample> samples;
 
-  /// Received (non-lost) samples only.
+  /// Received (non-lost) samples only. An empty series yields an empty
+  /// vector.
   [[nodiscard]] std::vector<RttSample> received() const;
 
-  /// Fraction of probes lost.
+  /// Fraction of probes lost. Defined as 0 (not NaN) for an empty series,
+  /// so degraded campaigns that recorded nothing stay safe to aggregate.
   [[nodiscard]] double loss_rate() const;
 };
 

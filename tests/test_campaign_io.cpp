@@ -87,6 +87,91 @@ TEST(CampaignIo, RejectsGarbage) {
   EXPECT_THROW((void)load_campaign(wrong_header), std::runtime_error);
 }
 
+TEST(CampaignIo, RoundTripPreservesQualityAndConfidence) {
+  core::CampaignData data;
+  data.terminal_names = {"Iowa"};
+  core::SlotObs obs;
+  obs.slot = 10;
+  obs.terminal_index = 0;
+  obs.unix_mid = 1000.0;
+  obs.local_hour = 8.5;
+  obs.quality = core::quality::kFrameMissing | core::quality::kAbstained;
+  obs.confidence = 0.6257;
+  obs.available.push_back({101, 10.0, 45.0, 100.0, true});
+  obs.available.push_back({102, 20.0, 55.0, 200.0, false});
+  obs.chosen = 1;
+  data.slots.push_back(obs);
+
+  std::stringstream buffer;
+  save_campaign(buffer, data);
+  const core::CampaignData loaded = load_campaign(buffer);
+  ASSERT_EQ(loaded.slots.size(), 1u);
+  EXPECT_EQ(loaded.slots[0].quality, obs.quality);
+  EXPECT_NEAR(loaded.slots[0].confidence, 0.6257, 1e-4);
+  EXPECT_EQ(loaded.slots[0].chosen, 1);
+}
+
+TEST(CampaignIo, LoadsLegacyElevenColumnFiles) {
+  // Files written before the quality/confidence columns must keep loading:
+  // chosen slots read back as oracle-grade (confidence 1), others as 0.
+  const std::string legacy =
+      "slot,terminal_index,terminal,unix_mid,local_hour,norad_id,azimuth_deg,"
+      "elevation_deg,age_days,sunlit,chosen\n"
+      "5,0,Iowa,1000.0,8.5,101,10.0,45.0,100.0,1,1\n"
+      "6,0,Iowa,1015.0,8.6,102,20.0,55.0,200.0,0,0\n";
+  std::istringstream in(legacy);
+  const core::CampaignData loaded = load_campaign(in);
+  ASSERT_EQ(loaded.slots.size(), 2u);
+  EXPECT_EQ(loaded.slots[0].quality, 0u);
+  EXPECT_EQ(loaded.slots[0].confidence, 1.0);
+  EXPECT_TRUE(loaded.slots[0].has_choice());
+  EXPECT_EQ(loaded.slots[1].confidence, 0.0);
+  EXPECT_FALSE(loaded.slots[1].has_choice());
+}
+
+TEST(CampaignIo, StrictLoadNamesRowOnBadField) {
+  std::stringstream buffer;
+  save_campaign(buffer, sample_campaign());
+  std::string text = buffer.str();
+  // Damage the first data row's norad_id field.
+  const std::size_t row2 = text.find('\n') + 1;
+  std::istringstream damaged(text.substr(0, row2) + "oops," +
+                             text.substr(row2 + 2));
+  try {
+    (void)load_campaign(damaged);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignIo, LenientLoadSkipsDamagedRowsWithProvenance) {
+  const core::CampaignData original = sample_campaign();
+  std::stringstream buffer;
+  save_campaign(buffer, original);
+  std::string text = buffer.str();
+  const std::size_t row2 = text.find('\n') + 1;
+  const std::string damaged =
+      text.substr(0, row2) + "oops," + text.substr(row2 + 2);
+
+  ParseReport report;
+  std::istringstream in(damaged);
+  const core::CampaignData loaded = load_campaign_lenient(in, report);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 2u);
+  EXPECT_GT(report.records_ok, 0u);
+  // Everything except the damaged candidate row survives.
+  std::size_t original_candidates = 0, loaded_candidates = 0;
+  for (const core::SlotObs& s : original.slots) {
+    original_candidates += s.available.size();
+  }
+  for (const core::SlotObs& s : loaded.slots) {
+    loaded_candidates += s.available.size();
+  }
+  EXPECT_EQ(loaded_candidates + 1, original_candidates);
+}
+
 TEST(CampaignIo, FileRoundTrip) {
   const core::CampaignData original = sample_campaign();
   const std::string path = ::testing::TempDir() + "/starlab_campaign.csv";

@@ -103,5 +103,67 @@ TEST(CatalogIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(CatalogIo, LenientMatchesStrictOnCleanInput) {
+  io::ParseReport report;
+  const std::vector<Tle> cat =
+      read_catalog_string_lenient(kThreeLine + kThreeLine, report);
+  EXPECT_EQ(cat.size(), 2u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_ok, 2u);
+  EXPECT_EQ(report.records_skipped, 0u);
+}
+
+TEST(CatalogIo, LenientSkipsBadChecksumWithLineProvenance) {
+  // Record 2's line 1 (file line 5) has one digit altered: its checksum no
+  // longer matches.
+  std::string bad_record = kThreeLine;
+  bad_record[bad_record.find("78495062")] = '9';
+  const std::string text = kThreeLine + bad_record + kThreeLine;
+
+  EXPECT_THROW((void)read_catalog_string(text), TleParseError);
+
+  io::ParseReport report;
+  const std::vector<Tle> cat = read_catalog_string_lenient(text, report);
+  EXPECT_EQ(cat.size(), 2u);
+  EXPECT_EQ(report.records_ok, 2u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 5u);  // the damaged record's line 1
+  EXPECT_NE(report.issues[0].reason.find("checksum"), std::string::npos)
+      << report.issues[0].reason;
+  EXPECT_NE(report.summary().find("line 5"), std::string::npos);
+}
+
+TEST(CatalogIo, LenientResynchronizesAfterTruncatedRecord) {
+  // Record 1 lost its line 2; the reader must not eat record 2's lines
+  // while recovering.
+  const std::size_t line2_at = kThreeLine.find("\n2 ") + 1;
+  const std::string truncated = kThreeLine.substr(0, line2_at);
+  const std::string text = truncated + kThreeLine;
+
+  io::ParseReport report;
+  const std::vector<Tle> cat = read_catalog_string_lenient(text, report);
+  ASSERT_EQ(cat.size(), 1u);
+  EXPECT_EQ(cat[0].norad_id, 5);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 2u);
+}
+
+TEST(CatalogIo, LenientReportsOrphanLine2) {
+  const std::string orphan =
+      "2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667\n";
+  io::ParseReport report;
+  const std::vector<Tle> cat =
+      read_catalog_string_lenient(orphan + kThreeLine, report);
+  EXPECT_EQ(cat.size(), 1u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 1u);
+}
+
+TEST(CatalogIo, LenientFileLoadStillThrowsOnMissingFile) {
+  io::ParseReport report;
+  EXPECT_THROW((void)load_catalog_file_lenient("/nonexistent/x.tle", report),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace starlab::tle

@@ -58,6 +58,41 @@ TEST(GilbertElliottTest, LossIsBursty) {
   EXPECT_GT(max_run, 5);
 }
 
+TEST(GilbertElliottTest, OverlayParametersProduceConfiguredBursts) {
+  // The fault overlay's parameterization: loss_bad == 1 and loss_good == 0
+  // make every loss run exactly a Bad-state dwell, so the mean burst length
+  // must be 1/p_bad_to_good and the marginal loss the stationary rate.
+  GilbertElliottConfig cfg;
+  cfg.loss_bad = 1.0;
+  cfg.loss_good = 0.0;
+  cfg.p_bad_to_good = 1.0 / 12.0;                    // mean burst: 12 probes
+  cfg.p_good_to_bad = cfg.p_bad_to_good * 0.05 / 0.95;  // stationary: 5 %
+  GilbertElliott ge(cfg, 13);
+
+  const int n = 500000;
+  std::vector<int> runs;
+  int run = 0, lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ge.step()) {
+      ++lost;
+      ++run;
+    } else if (run > 0) {
+      runs.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_GT(runs.size(), 100u);
+
+  const double marginal = static_cast<double>(lost) / n;
+  EXPECT_NEAR(ge.stationary_loss_rate(), 0.05, 1e-9);
+  EXPECT_NEAR(marginal, 0.05, 0.05 * 0.2);
+
+  double total = 0.0;
+  for (const int r : runs) total += r;
+  const double mean_burst = total / static_cast<double>(runs.size());
+  EXPECT_NEAR(mean_burst, 12.0, 12.0 * 0.2);
+}
+
 TEST(GilbertElliottTest, StateTransitionsHappen) {
   GilbertElliott ge({}, 9);
   bool saw_bad = false, saw_good_after_bad = false;

@@ -117,6 +117,22 @@ TEST(RttProber, DeterministicAcrossRuns) {
   }
 }
 
+TEST(RttSeries, EmptySeriesHasZeroLossRateNotNaN) {
+  const RttSeries empty;
+  EXPECT_EQ(empty.loss_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(empty.loss_rate()));
+  EXPECT_TRUE(empty.received().empty());
+}
+
+TEST(RttSeries, AllLostSeriesReportsFullLoss) {
+  RttSeries series;
+  RttSample s;
+  s.lost = true;
+  series.samples = {s, s, s};
+  EXPECT_EQ(series.loss_rate(), 1.0);
+  EXPECT_TRUE(series.received().empty());
+}
+
 TEST(RttProber, DifferentTerminalsDifferentSeries) {
   const RttSeries iowa = probe_minutes(0.5, 0);
   const RttSeries madrid = probe_minutes(0.5, 2);
