@@ -52,52 +52,61 @@ Observables measure(const scheduler::SchedulerWeights& weights) {
   return out;
 }
 
-void report(const char* name, const Observables& o) {
+void report(bench::ReportSink& sink, const char* name, const Observables& o) {
   std::printf("  %-22s %8.1f %10.2f %11.2f %9.2f\n", name, o.aoe_gap,
               o.north_share, o.sunlit_rate, o.launch_r);
+  obs::RunReport r;
+  r.kind = "bench";
+  r.label = std::string("ablation:") + name;
+  r.add_value("aoe_gap_deg", o.aoe_gap);
+  r.add_value("north_share", o.north_share);
+  r.add_value("sunlit_pick_rate", o.sunlit_rate);
+  r.add_value("launch_pearson_r", o.launch_r);
+  sink.add(std::move(r));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   bench::print_header(
       "Scheduler-weight ablation (half-scale, 6 h campaigns)");
   std::printf("  %-22s %8s %10s %11s %9s\n", "variant", "AOEgap", "north",
               "sunlitPick", "launchR");
 
   const scheduler::SchedulerWeights defaults;
-  report("full oracle", measure(defaults));
+  report(sink, "full oracle", measure(defaults));
 
   {
     scheduler::SchedulerWeights w = defaults;
     w.elevation = 0.0;
-    report("- elevation", measure(w));
+    report(sink, "- elevation", measure(w));
   }
   {
     scheduler::SchedulerWeights w = defaults;
     w.north = 0.0;
-    report("- north", measure(w));
+    report(sink, "- north", measure(w));
   }
   {
     scheduler::SchedulerWeights w = defaults;
     w.recency = 0.0;
-    report("- recency", measure(w));
+    report(sink, "- recency", measure(w));
   }
   {
     scheduler::SchedulerWeights w = defaults;
     w.sunlit = 0.0;
     w.dark_range_penalty = 0.0;
-    report("- sunlit/energy", measure(w));
+    report(sink, "- sunlit/energy", measure(w));
   }
   {
     scheduler::SchedulerWeights w = defaults;
     w.noise = 0.0;
-    report("- decision noise", measure(w));
+    report(sink, "- decision noise", measure(w));
   }
   {
     scheduler::SchedulerWeights w = defaults;
     w.noise = 2.0;
-    report("noise x4", measure(w));
+    report(sink, "noise x4", measure(w));
   }
 
   std::printf("\n  Reading: each row removes one oracle mechanism; the\n"

@@ -1,7 +1,16 @@
 #include "bench_common.hpp"
 
-#include <chrono>
+#include <cstring>
+#include <exception>
+#include <fstream>
 #include <memory>
+
+#include "obs/config.hpp"
+#include "obs/trace.hpp"
+
+#ifndef STARLAB_GIT_SHA
+#define STARLAB_GIT_SHA "unknown"
+#endif
 
 namespace starlab::bench {
 
@@ -19,7 +28,7 @@ const core::Scenario& half_scenario() {
 
 const core::CampaignData& standard_campaign() {
   static const core::CampaignData data = [] {
-    Stopwatch timer;
+    obs::Stopwatch timer;
     std::printf("[setup] running 12 h measurement campaign over %zu satellites"
                 " x 4 terminals (stride 2)...\n",
                 full_scenario().catalog().size());
@@ -53,17 +62,74 @@ void print_ecdf_row(const std::string& label, const analysis::Ecdf& ecdf,
   std::printf("\n");
 }
 
-Stopwatch::Stopwatch()
-    : start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now().time_since_epoch())
-                    .count()) {}
+std::string git_sha() { return STARLAB_GIT_SHA; }
 
-double Stopwatch::seconds() const {
-  const long long now =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count();
-  return static_cast<double>(now - start_ns_) * 1e-9;
+namespace {
+
+/// Value of `--NAME=...` if `arg` carries it, nullptr otherwise.
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+ReportSink::ReportSink(int& argc, char** argv, std::string default_json_path)
+    : json_path_(std::move(default_json_path)) {
+  obs::init_from_env();
+
+  // Consume our flags, compacting argv so later parsers never see them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--json-out")) {
+      json_path_ = v;
+    } else if (const char* v2 = flag_value(argv[i], "--trace-out")) {
+      trace_path_ = v2;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      json_path_.clear();
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  obs::Config cfg = obs::config();
+  if (!json_path_.empty()) cfg.metrics = true;  // stage timers need obs on
+  if (!trace_path_.empty()) cfg.tracing = true;
+  obs::set_config(cfg);
+}
+
+ReportSink::~ReportSink() {
+  // An empty sink means the bench bailed before producing results (bad
+  // flag, filtered-out run); keep any previous report file intact.
+  if (!json_path_.empty() && !reports_.empty()) {
+    for (obs::RunReport& r : reports_) {
+      if (r.git_sha.empty()) r.git_sha = git_sha();
+    }
+    try {
+      io::save_run_reports_file(json_path_, reports_);
+      std::printf("\n[report] %zu run report(s) -> %s\n", reports_.size(),
+                  json_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[report] FAILED writing %s: %s\n",
+                   json_path_.c_str(), e.what());
+    }
+  }
+  if (!trace_path_.empty()) {
+    std::ofstream out(trace_path_);
+    if (out) {
+      out << obs::TraceRecorder::instance().chrome_trace_json() << '\n';
+      std::printf("[report] %zu trace span(s) -> %s (open in Perfetto)\n",
+                  obs::TraceRecorder::instance().size(), trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[report] FAILED opening %s\n", trace_path_.c_str());
+    }
+  }
+}
+
+void ReportSink::add(obs::RunReport report) {
+  reports_.push_back(std::move(report));
 }
 
 }  // namespace starlab::bench

@@ -52,13 +52,13 @@ SweepRow pipeline_row(const core::Scenario& sc, const char* injector,
   double confidence_sum = 0.0;
   for (std::size_t t = 0; t < sc.terminals().size(); ++t) {
     const core::PipelineResult result = pipeline.run(t, duration_sec);
-    row.slots += result.rows.size();
-    row.decided += result.decided();
-    row.abstained += result.abstained();
-    for (const core::SlotIdentification& r : result.rows) {
-      if (r.quality != 0) ++row.degraded;
-      if (r.inferred_norad.has_value()) confidence_sum += r.confidence;
-    }
+    // run() pre-summarizes everything into result.report — no row re-scan.
+    row.slots += result.report.slots;
+    row.decided += result.report.decided;
+    row.abstained += result.report.abstained;
+    row.degraded += result.report.degraded;
+    confidence_sum += result.report.value_or("mean_confidence", 0.0) *
+                      static_cast<double>(result.report.decided);
     // Pool accuracy across terminals, weighted by decided slots.
     row.accuracy += result.accuracy() * static_cast<double>(result.decided());
   }
@@ -67,6 +67,23 @@ SweepRow pipeline_row(const core::Scenario& sc, const char* injector,
     row.mean_confidence = confidence_sum / static_cast<double>(row.decided);
   }
   return row;
+}
+
+/// A sweep row as one RunReport line for BENCH_fault.json.
+obs::RunReport row_report(const SweepRow& r) {
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s@%g", r.injector, r.rate);
+  obs::RunReport rep;
+  rep.kind = "bench";
+  rep.label = label;
+  rep.slots = r.slots;
+  rep.decided = r.decided;
+  rep.abstained = r.abstained;
+  rep.degraded = r.degraded;
+  rep.accuracy = r.accuracy;
+  rep.add_value("rate", r.rate);
+  rep.add_value("mean_confidence", r.mean_confidence);
+  return rep;
 }
 
 bool pipeline_results_identical(const core::PipelineResult& a,
@@ -104,9 +121,10 @@ bool campaigns_identical(const core::CampaignData& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv, "BENCH_fault.json");
   const core::Scenario& sc = bench::half_scenario();
-  bench::Stopwatch timer;
+  obs::Stopwatch timer;
 
   // -------------------------------------------------------------------
   // Safety gate: intensity 0 must be bit-identical to "no faults at all".
@@ -175,14 +193,16 @@ int main() {
     SweepRow row;
     row.injector = "dropout";
     row.rate = rate;
-    row.slots = data.slots.size();
+    // run_campaign summarizes these into its report; only the clean-baseline
+    // comparison below still needs the slot-by-slot walk.
+    row.slots = data.report.slots;
+    row.decided = data.report.decided;
+    row.degraded = data.report.degraded;
     double confidence_sum = 0.0;
     std::size_t baseline_match = 0, checked = 0;
     for (std::size_t i = 0; i < data.slots.size(); ++i) {
       const core::SlotObs& s = data.slots[i];
-      if (s.quality != 0) ++row.degraded;
       if (!s.has_choice()) continue;
-      ++row.decided;
       confidence_sum += s.confidence;
       // "Accuracy" for dropout: does the scheduler still pick the same
       // satellite it would have picked with the full candidate set?
@@ -208,6 +228,7 @@ int main() {
 
   bench::print_header("Degradation curves (CSV)");
   print_csv(rows);
+  for (const SweepRow& r : rows) sink.add(row_report(r));
 
   // The acceptance bar from the robustness issue, stated explicitly.
   for (const SweepRow& r : rows) {
@@ -217,6 +238,17 @@ int main() {
                     100.0 * r.accuracy, r.decided);
       bench::print_comparison("accuracy at 10% frame drops", ">=95%", buf);
     }
+  }
+
+  {
+    obs::RunReport gate;
+    gate.kind = "bench";
+    gate.label = "safety_gate";
+    gate.add_value("pipeline_bit_identical", rows_ok ? 1.0 : 0.0);
+    gate.add_value("campaign_bit_identical", campaign_ok ? 1.0 : 0.0);
+    gate.add_value("model_topk_identical", topk_ok ? 1.0 : 0.0);
+    gate.add_value("total_seconds", timer.seconds());
+    sink.add(std::move(gate));
   }
 
   // -------------------------------------------------------------------

@@ -20,7 +20,8 @@ using namespace starlab;
 
 namespace {
 
-void handover_section(const core::CampaignData& data) {
+void handover_section(bench::ReportSink& sink,
+                      const core::CampaignData& data) {
   bench::print_header("Handover dynamics (per terminal, 12 h)");
   std::printf("  terminal     rate   mean-dwell  max-dwell  mean-jump  "
               "distinct  revisit\n");
@@ -39,6 +40,16 @@ void handover_section(const core::CampaignData& data) {
                 data.terminal_names[t].c_str(), h.handover_rate,
                 h.mean_dwell_slots, h.max_dwell_slots, h.mean_jump_deg,
                 h.distinct_satellites, h.revisit_fraction);
+
+    obs::RunReport report;
+    report.kind = "bench";
+    report.label = "handover:" + data.terminal_names[t];
+    report.add_value("handover_rate", h.handover_rate);
+    report.add_value("mean_dwell_slots", h.mean_dwell_slots);
+    report.add_value("mean_jump_deg", h.mean_jump_deg);
+    report.add_value("distinct_satellites",
+                     static_cast<double>(h.distinct_satellites));
+    sink.add(std::move(report));
   }
   std::printf("  (stride-2 campaign: a 'slot' here spans 30 s of wall time;\n"
               "   the paper's §3 finding implies rates near 1.)\n");
@@ -69,7 +80,8 @@ void throughput_section() {
   }
 }
 
-void satellite_prediction_section(const core::CampaignData& train_data) {
+void satellite_prediction_section(bench::ReportSink& sink,
+                                  const core::CampaignData& train_data) {
   bench::print_header("Satellite-level prediction (extension of Fig 8)");
   const core::ClusterFeaturizer featurizer;
   const ml::Dataset train = featurizer.build_dataset(train_data);
@@ -108,6 +120,14 @@ void satellite_prediction_section(const core::CampaignData& train_data) {
   }
   std::printf("  (out-of-time window, %.1f candidates/slot on average)\n",
               mean_candidates);
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "satellite_prediction";
+  report.add_value("predictor_top1", topk.front());
+  report.add_value("predictor_top5", topk.back());
+  report.add_value("mean_candidates", mean_candidates);
+  sink.add(std::move(report));
 }
 
 void gateway_section() {
@@ -167,11 +187,12 @@ void rain_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
-  handover_section(data);
+  handover_section(sink, data);
   throughput_section();
-  satellite_prediction_section(data);
+  satellite_prediction_section(sink, data);
   gateway_section();
   rain_section();
   return 0;

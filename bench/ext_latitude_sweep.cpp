@@ -10,7 +10,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   bench::print_header(
       "Latitude sweep: pick-azimuth shares vs GSO-arc position");
   std::printf("  lat     GSOarc(az@el)   north-share  south-share  mean-AOE"
@@ -51,6 +52,17 @@ int main() {
     std::printf("  %+5.0f   %5.1f@%4.1f      %6.2f       %6.2f       %6.1f\n",
                 lat, arc_az, arc.max_elevation_deg(), az.north_share_chosen,
                 south_share, aoe.median_gap_deg);
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "lat_%+03.0f", lat);
+    obs::RunReport report;
+    report.kind = "bench";
+    report.label = label;
+    report.add_value("gso_arc_azimuth_deg", arc_az);
+    report.add_value("north_share_chosen", az.north_share_chosen);
+    report.add_value("south_share_chosen", south_share);
+    report.add_value("median_aoe_gap_deg", aoe.median_gap_deg);
+    sink.add(std::move(report));
   }
 
   std::printf(

@@ -12,7 +12,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::Scenario& sc = bench::full_scenario();
   const std::size_t madrid = 2;
 
@@ -114,5 +115,15 @@ int main() {
   }
   bench::print_comparison("same 15 s grid everywhere, simultaneously",
                           "all locations, all periods", "table above");
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig2_rtt_timeseries";
+  report.add_value("mw_windows_tested", tested);
+  report.add_value("mw_windows_significant", significant);
+  report.add_value("epoch_period_sec", est.period_sec);
+  report.add_value("epoch_support", est.support);
+  report.add_value("change_points_10min", static_cast<double>(changes.size()));
+  sink.add(std::move(report));
   return 0;
 }

@@ -10,7 +10,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::Scenario& sc = bench::full_scenario();
   const ground::Terminal& terminal = sc.terminal(0);
 
@@ -53,10 +54,25 @@ int main() {
   }
 
   bench::print_header("Fig 3e: long-exposure frame (no reset) + §4.1 recovery");
-  bench::Stopwatch timer;
+  obs::Stopwatch timer;
   const auto recovered =
       core::InferencePipeline::recover_geometry_via_fill(sc, 0, 12.0);
   std::printf("  12 h fill in %.1f s\n", timer.seconds());
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig3_obstruction_maps";
+  report.add_value("xor_pixels", static_cast<double>(isolated.popcount()));
+  report.add_value("fill_seconds", timer.seconds());
+  if (recovered.has_value()) {
+    report.add_value("recovered_center_x", recovered->geometry.center_x);
+    report.add_value("recovered_center_y", recovered->geometry.center_y);
+    report.add_value("recovered_radius_px", recovered->geometry.radius_px);
+    report.add_value("painted_pixels",
+                     static_cast<double>(recovered->painted_pixels));
+  }
+  sink.add(std::move(report));
+
   if (recovered.has_value()) {
     char measured[96];
     std::snprintf(measured, sizeof(measured),

@@ -10,7 +10,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
   const core::SchedulerCharacterizer ch(data, bench::full_scenario().catalog());
 
@@ -54,5 +55,13 @@ int main() {
                 100.0 * avail_4590_sum / 4.0, 100.0 * chosen_4590_sum / 4.0);
   bench::print_comparison("share with AOE in 45-90 deg",
                           "30% available, 80% selected", buf);
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig4_aoe_cdf";
+  report.add_value("median_aoe_gap_deg", gap_sum / 4.0);
+  report.add_value("frac_available_45_90", avail_4590_sum / 4.0);
+  report.add_value("frac_chosen_45_90", chosen_4590_sum / 4.0);
+  sink.add(std::move(report));
   return 0;
 }

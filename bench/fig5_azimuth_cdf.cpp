@@ -7,7 +7,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
   const core::SchedulerCharacterizer ch(data, bench::full_scenario().catalog());
 
@@ -45,5 +46,14 @@ int main() {
                 100.0 * ithaca_nw, 100.0 * others_nw);
   bench::print_comparison("Ithaca NW pick share (tree obstruction)",
                           "9.7% vs 55.4% elsewhere", buf);
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig5_azimuth_cdf";
+  report.add_value("north_share_available", north_avail_sum / 3.0);
+  report.add_value("north_share_chosen", north_chosen_sum / 3.0);
+  report.add_value("ithaca_nw_share", ithaca_nw);
+  report.add_value("others_nw_share", others_nw);
+  sink.add(std::move(report));
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
   const core::SchedulerCharacterizer ch(data, bench::full_scenario().catalog());
 
@@ -48,5 +49,12 @@ int main() {
   std::snprintf(buf, sizeof(buf), "%+.3f", last_ratio - first_ratio);
   bench::print_comparison("pick-probability delta, latest vs earliest (Iowa)",
                           "+0.02", buf);
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig6_launch_preference";
+  report.add_value("launch_pearson_r", r_sum / r_count);
+  report.add_value("iowa_pick_ratio_delta", last_ratio - first_ratio);
+  sink.add(std::move(report));
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
   const core::SchedulerCharacterizer ch(data, bench::full_scenario().catalog());
 
@@ -75,5 +76,20 @@ int main() {
     bench::print_comparison("median AOE, dark picks above sunlit picks",
                             "~29 deg", buf);
   }
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "fig7_sunlit_analysis";
+  if (rated > 0) {
+    report.add_value("sunlit_pick_rate", pick_rate_sum / rated);
+    report.add_value("min_dark_fraction_when_dark_picked", dark_floor_min);
+  }
+  if (cdfed > 0) {
+    report.add_value("frac_dark_chosen_above_60", dark60_sum / cdfed);
+    report.add_value("frac_sunlit_chosen_above_60", sunlit60_sum / cdfed);
+    report.add_value("median_aoe_dark_minus_sunlit_deg",
+                     median_gap_sum / cdfed);
+  }
+  sink.add(std::move(report));
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace starlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::CampaignData& data = bench::standard_campaign();
 
   bench::print_header("Fig 8: top-k accuracy, random forest vs baseline");
@@ -20,7 +21,7 @@ int main() {
   grid.min_samples_leaf = {2};
   cfg.grid = grid;
 
-  bench::Stopwatch timer;
+  obs::Stopwatch timer;
   const core::ModelEvaluation eval = core::train_scheduler_model(data, cfg);
   std::printf("  trained on %zu rows, held out %zu (grid search + final fit:"
               " %.0f s)\n",
@@ -59,5 +60,13 @@ int main() {
       break;
     }
   }
+
+  // The training run's own report (stage timings + cv/top-1 values when
+  // observability is on), enriched with the Fig 8 headline numbers.
+  obs::RunReport report = eval.report;
+  report.label = "fig8_model_accuracy";
+  report.add_value("forest_top5", eval.forest_top_k[4]);
+  report.add_value("baseline_top5", eval.baseline_top_k[4]);
+  sink.add(std::move(report));
   return 0;
 }

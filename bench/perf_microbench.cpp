@@ -1,11 +1,14 @@
 // google-benchmark microbenchmarks for the hot paths: SGP4 propagation, the
 // whole-sky visibility query, DTW matching, forest inference, obstruction-map
 // XOR and the Mann-Whitney test. These bound the cost of scaling campaigns
-// to longer durations and denser constellations.
+// to longer durations and denser constellations. Besides the console table,
+// per-section ns/op land in BENCH_perf.json (one RunReport line, git SHA
+// stamped) so regressions are diffable across commits.
 
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -127,6 +130,42 @@ void BM_ForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredict);
 
+/// Console reporter that additionally records each benchmark's ns/op as a
+/// named value on the run report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::RunReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations <= 0) continue;
+      const double ns_per_op = run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+      report_.add_value(run.benchmark_name() + "_ns_per_op", ns_per_op);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::RunReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv, "BENCH_perf.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "perf_microbench";
+  const obs::Stopwatch timer;
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.wall_ns = timer.elapsed_ns();
+  sink.add(std::move(report));
+
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,11 +41,12 @@ TrialStats run_trials(const core::Scenario& sc, const core::PipelineConfig& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ReportSink sink(argc, argv);
   const core::Scenario& sc = bench::full_scenario();
 
   bench::print_header("§4.1: DTW identification vs ground truth (500 trials)");
-  bench::Stopwatch timer;
+  obs::Stopwatch timer;
   core::PipelineConfig cfg;
   const TrialStats main_run = run_trials(sc, cfg, 125);  // 125 x 4 == 500
   char buf[96];
@@ -57,6 +58,17 @@ int main() {
                 main_run.candidate_sum / static_cast<double>(main_run.decided));
   bench::print_comparison("satellites in field of view", "~40 per slot", buf);
   std::printf("  (%.1f s)\n", timer.seconds());
+
+  obs::RunReport report;
+  report.kind = "bench";
+  report.label = "sec4_dtw_validation";
+  report.add_value("accuracy", main_run.accuracy());
+  report.add_value("trials", static_cast<double>(main_run.decided));
+  report.add_value("mean_candidates",
+                   main_run.candidate_sum /
+                       static_cast<double>(main_run.decided));
+  report.add_value("run_seconds", timer.seconds());
+  sink.add(std::move(report));
 
   bench::print_header("Ablation: Sakoe-Chiba band half-width");
   std::printf("  band   accuracy   (40 trials/terminal)\n");

@@ -2,10 +2,40 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hpp"
 #include "fault/injectors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sun/solar_ephemeris.hpp"
 
 namespace starlab::core {
+
+namespace {
+
+/// Pre-registered campaign metrics (one-time registration, lock-free adds).
+struct CampaignMetrics {
+  obs::Counter runs, slots, chosen, dropout_flagged;
+
+  static const CampaignMetrics& get() {
+    static const CampaignMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+      CampaignMetrics x;
+      x.runs = reg.counter("starlab_campaign_runs_total",
+                           "Campaigns executed by run_campaign");
+      x.slots = reg.counter("starlab_campaign_slots_total",
+                            "Slot observations recorded across campaigns");
+      x.chosen = reg.counter("starlab_campaign_chosen_total",
+                             "Slot observations with a scheduler choice");
+      x.dropout_flagged =
+          reg.counter("starlab_campaign_dropout_slots_total",
+                      "Slot observations flagged kCandidateDropout");
+      return x;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<const SlotObs*> CampaignData::for_terminal(
     std::size_t terminal_index) const {
@@ -18,7 +48,18 @@ std::vector<const SlotObs*> CampaignData::for_terminal(
 
 CampaignData run_campaign(const Scenario& scenario,
                           const CampaignConfig& config) {
+  const obs::ObsSpan span("campaign.run");
+  const bool timed = obs::enabled();
+  const std::uint64_t run_start = timed ? obs::monotonic_ns() : 0;
+
   CampaignData data;
+  data.report.kind = "campaign";
+  data.report.label = "oracle";
+  obs::StageStat* st_propagate =
+      timed ? &data.report.stage("propagate") : nullptr;
+  obs::StageStat* st_candidates =
+      timed ? &data.report.stage("candidates") : nullptr;
+  obs::StageStat* st_allocate = timed ? &data.report.stage("allocate") : nullptr;
   for (const ground::Terminal& t : scenario.terminals()) {
     data.terminal_names.push_back(t.name());
   }
@@ -44,13 +85,17 @@ CampaignData run_campaign(const Scenario& scenario,
     const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
 
     // One catalog propagation shared by every terminal in this slot.
-    const std::vector<constellation::Catalog::Snapshot> snaps =
-        catalog.propagate_all(jd);
+    const std::vector<constellation::Catalog::Snapshot> snaps = [&] {
+      const obs::ScopedStage stage(st_propagate);
+      return catalog.propagate_all(jd);
+    }();
 
     for (std::size_t ti = 0; ti < scenario.terminals().size(); ++ti) {
       const ground::Terminal& terminal = scenario.terminal(ti);
-      std::vector<ground::Candidate> candidates =
-          terminal.candidates_from_snapshots(catalog, snaps, jd);
+      std::vector<ground::Candidate> candidates = [&] {
+        const obs::ScopedStage stage(st_candidates);
+        return terminal.candidates_from_snapshots(catalog, snaps, jd);
+      }();
 
       bool any_dropped = false;
       if (inject_dropout) {
@@ -79,8 +124,11 @@ CampaignData run_campaign(const Scenario& scenario,
                                  c.sky.sunlit});
       }
 
-      const std::optional<scheduler::Allocation> alloc =
-          global.allocate_from(terminal, s, candidates);
+      // `obs` names the SlotObs above here, so qualify the namespace fully.
+      const std::optional<scheduler::Allocation> alloc = [&] {
+        const starlab::obs::ScopedStage stage(st_allocate);
+        return global.allocate_from(terminal, s, candidates);
+      }();
       if (alloc.has_value()) {
         for (std::size_t i = 0; i < obs.available.size(); ++i) {
           if (obs.available[i].norad_id == alloc->norad_id) {
@@ -93,6 +141,32 @@ CampaignData run_campaign(const Scenario& scenario,
       data.slots.push_back(std::move(obs));
     }
   }
+
+  // Run summary: slot counts, per-flag counts, the plan in force. Computed
+  // once here so consumers never re-scan the slot vector.
+  obs::RunReport& report = data.report;
+  report.slots = data.slots.size();
+  for (const quality::Flag& f : quality::kFlags) {
+    report.quality.emplace_back(f.name, 0);
+  }
+  for (const SlotObs& slot : data.slots) {
+    if (slot.has_choice()) ++report.decided;
+    if (slot.quality != 0) ++report.degraded;
+    for (std::size_t f = 0; f < std::size(quality::kFlags); ++f) {
+      if ((slot.quality & quality::kFlags[f].bit) != 0) {
+        ++report.quality[f].second;
+      }
+    }
+  }
+  report.fault_plan = fault::format_fault_plan(plan);
+  if (timed) report.wall_ns = obs::monotonic_ns() - run_start;
+
+  const CampaignMetrics& metrics = CampaignMetrics::get();
+  metrics.runs.add();
+  metrics.slots.add(report.slots);
+  metrics.chosen.add(report.decided);
+  metrics.dropout_flagged.add(
+      report.quality[5].second);  // kCandidateDropout is the 6th flag
   return data;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/run_report.hpp"
 
 namespace starlab::core {
 
@@ -30,6 +31,26 @@ inline constexpr std::uint32_t kFrameCorrupted = 1u << 2;  ///< observed frame h
 inline constexpr std::uint32_t kAbstained = 1u << 3;  ///< identifier declined to answer
 inline constexpr std::uint32_t kResetDetected = 1u << 4;  ///< unnoticed reboot between frames
 inline constexpr std::uint32_t kCandidateDropout = 1u << 5;  ///< >=1 candidate dropped from this slot
+
+/// All flags with their machine-readable names, in bit order — the keys the
+/// observability layer uses in RunReport quality counts.
+struct Flag {
+  std::uint32_t bit;
+  const char* name;
+};
+inline constexpr Flag kFlags[] = {
+    {kFrameMissing, "frame_missing"},     {kStaleBaseline, "stale_baseline"},
+    {kFrameCorrupted, "frame_corrupted"}, {kAbstained, "abstained"},
+    {kResetDetected, "reset_detected"},   {kCandidateDropout, "candidate_dropout"},
+};
+
+/// Name of a single flag bit; nullptr for unknown bits.
+[[nodiscard]] inline const char* flag_name(std::uint32_t bit) {
+  for (const Flag& f : kFlags) {
+    if (f.bit == bit) return f.name;
+  }
+  return nullptr;
+}
 }  // namespace quality
 
 /// One available satellite as recorded for one slot.
@@ -63,6 +84,11 @@ struct SlotObs {
 struct CampaignData {
   std::vector<std::string> terminal_names;
   std::vector<SlotObs> slots;
+  /// Run summary filled by run_campaign / run_inferred_campaign: stage
+  /// timings (when observability is on), slot/quality counts, the fault
+  /// plan in force. Not persisted by campaign_io; write it with
+  /// io::report_io if the run should land in a JSONL log.
+  obs::RunReport report;
 
   /// Observations of one terminal only.
   [[nodiscard]] std::vector<const SlotObs*> for_terminal(

@@ -1,11 +1,90 @@
 #include "core/pipeline.hpp"
 
+#include "fault/fault_plan.hpp"
 #include "fault/injectors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sun/solar_ephemeris.hpp"
 
 namespace starlab::core {
 
+namespace {
+
+/// Pre-registered pipeline metrics (one-time registration, lock-free adds).
+struct PipelineMetrics {
+  obs::Counter runs, slots, decided, abstained, degraded;
+
+  static const PipelineMetrics& get() {
+    static const PipelineMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+      PipelineMetrics x;
+      x.runs = reg.counter("starlab_pipeline_runs_total",
+                           "Identification pipeline runs");
+      x.slots = reg.counter("starlab_pipeline_slots_total",
+                            "Slots the pipeline emitted a row for");
+      x.decided = reg.counter("starlab_pipeline_decided_total",
+                              "Slots the pipeline answered");
+      x.abstained = reg.counter("starlab_pipeline_abstained_total",
+                                "Slots the identifier declined to answer");
+      x.degraded = reg.counter("starlab_pipeline_degraded_total",
+                               "Slots carrying at least one quality flag");
+      return x;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+void PipelineResult::summarize() {
+  report.slots = rows.size();
+  report.decided = 0;
+  report.abstained = 0;
+  report.degraded = 0;
+  report.compared = 0;
+  report.correct = 0;
+  report.quality.clear();
+  report.abstain_reasons.clear();
+  for (const quality::Flag& f : quality::kFlags) {
+    report.quality.emplace_back(f.name, 0);
+  }
+
+  double confidence_sum = 0.0;
+  for (const SlotIdentification& r : rows) {
+    if (r.inferred_norad.has_value()) {
+      ++report.decided;
+      confidence_sum += r.confidence;
+    }
+    if (r.abstained()) {
+      ++report.abstained;
+      obs::RunReport::bump(report.abstain_reasons,
+                           match::abstain_reason_name(r.abstain));
+    }
+    if (r.quality != 0) ++report.degraded;
+    if (r.truth_norad.has_value() && r.inferred_norad.has_value()) {
+      ++report.compared;
+      if (r.correct()) ++report.correct;
+    }
+    for (std::size_t f = 0; f < std::size(quality::kFlags); ++f) {
+      if ((r.quality & quality::kFlags[f].bit) != 0) {
+        ++report.quality[f].second;
+      }
+    }
+  }
+  report.accuracy = report.compared == 0
+                        ? 0.0
+                        : static_cast<double>(report.correct) /
+                              static_cast<double>(report.compared);
+  report.add_value("mean_confidence",
+                   report.decided == 0
+                       ? 0.0
+                       : confidence_sum /
+                             static_cast<double>(report.decided));
+  summarized_ = true;
+}
+
 double PipelineResult::accuracy() const {
+  if (summarized_) return report.accuracy;
   std::size_t correct = 0, total = 0;
   for (const SlotIdentification& r : rows) {
     if (r.truth_norad.has_value() && r.inferred_norad.has_value()) {
@@ -18,6 +97,7 @@ double PipelineResult::accuracy() const {
 }
 
 std::size_t PipelineResult::decided() const {
+  if (summarized_) return report.decided;
   std::size_t n = 0;
   for (const SlotIdentification& r : rows) {
     if (r.inferred_norad.has_value()) ++n;
@@ -26,6 +106,7 @@ std::size_t PipelineResult::decided() const {
 }
 
 std::size_t PipelineResult::abstained() const {
+  if (summarized_) return report.abstained;
   std::size_t n = 0;
   for (const SlotIdentification& r : rows) {
     if (r.abstained()) ++n;
@@ -34,6 +115,13 @@ std::size_t PipelineResult::abstained() const {
 }
 
 std::size_t PipelineResult::flagged(std::uint32_t quality_bit) const {
+  if (summarized_) {
+    if (const char* name = quality::flag_name(quality_bit)) {
+      for (const auto& [n, count] : report.quality) {
+        if (n == name) return count;
+      }
+    }
+  }
   std::size_t n = 0;
   for (const SlotIdentification& r : rows) {
     if ((r.quality & quality_bit) != 0) ++n;
@@ -73,10 +161,24 @@ InferencePipeline::recover_geometry_via_fill(const Scenario& scenario,
 
 PipelineResult InferencePipeline::run(std::size_t terminal_index,
                                       double duration_sec) const {
+  const obs::ObsSpan run_span("pipeline.run");
+  const bool timed = obs::enabled();
+  const std::uint64_t run_start = timed ? obs::monotonic_ns() : 0;
+
   PipelineResult result;
   const ground::Terminal& terminal = scenario_.terminal(terminal_index);
   const time::SlotGrid& grid = scenario_.grid();
   const scheduler::GlobalScheduler& global = scenario_.global_scheduler();
+
+  result.report.kind = "pipeline";
+  result.report.label = terminal.name();
+  obs::StageStat* st_allocate =
+      timed ? &result.report.stage("allocate") : nullptr;
+  obs::StageStat* st_record = timed ? &result.report.stage("record") : nullptr;
+  obs::StageStat* st_observe =
+      timed ? &result.report.stage("observe") : nullptr;
+  obs::StageStat* st_identify =
+      timed ? &result.report.stage("identify") : nullptr;
 
   obsmap::MapRecorder recorder(scenario_.catalog(), terminal, grid,
                                obsmap::TrajectoryPainter(geometry_));
@@ -85,6 +187,7 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
   const fault::FaultPlan& plan =
       config_.faults.has_value() ? *config_.faults : scenario_.fault_plan();
   const fault::FrameFaultInjector frame_faults(plan);
+  result.report.fault_plan = fault::format_fault_plan(plan);
 
   const time::SlotIndex first = scenario_.first_slot();
   const auto num_slots =
@@ -106,30 +209,40 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
       polls_missed_since_prev = 0;
     }
 
-    const std::optional<scheduler::Allocation> truth =
-        global.allocate(terminal, s);
+    const std::optional<scheduler::Allocation> truth = [&] {
+      const obs::ScopedStage stage(st_allocate);
+      return global.allocate(terminal, s);
+    }();
     // The dish always paints; faults only affect what the poll observes.
-    obsmap::ObstructionMap frame = recorder.record_slot(truth);
+    obsmap::ObstructionMap frame = [&] {
+      const obs::ScopedStage stage(st_record);
+      return recorder.record_slot(truth);
+    }();
 
     SlotIdentification row;
     row.slot = s;
     if (truth.has_value()) row.truth_norad = truth->norad_id;
 
-    if (frame_faults.frame_dropped(terminal_index, s)) {
-      // No frame observed: this slot is undecidable, and the stale baseline
-      // taints the next XOR (flagged there as kStaleBaseline).
-      row.quality |= quality::kFrameMissing;
+    {
+      const obs::ScopedStage stage(st_observe);
+      if (frame_faults.frame_dropped(terminal_index, s)) {
+        // No frame observed: this slot is undecidable, and the stale
+        // baseline taints the next XOR (flagged there as kStaleBaseline).
+        row.quality |= quality::kFrameMissing;
+      } else if (frame_faults.corrupt(frame, terminal_index, s) > 0) {
+        row.quality |= quality::kFrameCorrupted;
+      }
+    }
+    if ((row.quality & quality::kFrameMissing) != 0) {
       result.rows.push_back(row);
       ++polls_missed_since_prev;
       continue;
-    }
-    if (frame_faults.corrupt(frame, terminal_index, s) > 0) {
-      row.quality |= quality::kFrameCorrupted;
     }
 
     if (prev_frame.has_value()) {
       if (polls_missed_since_prev > 0) row.quality |= quality::kStaleBaseline;
 
+      const obs::ScopedStage stage(st_identify);
       const match::Identification id =
           identifier.identify(terminal, s, *prev_frame, frame);
       row.num_candidates = id.num_candidates;
@@ -147,20 +260,38 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
     prev_frame = std::move(frame);
     polls_missed_since_prev = 0;
   }
+
+  if (timed) result.report.wall_ns = obs::monotonic_ns() - run_start;
+  result.summarize();
+
+  const PipelineMetrics& metrics = PipelineMetrics::get();
+  metrics.runs.add();
+  metrics.slots.add(result.report.slots);
+  metrics.decided.add(result.report.decided);
+  metrics.abstained.add(result.report.abstained);
+  metrics.degraded.add(result.report.degraded);
   return result;
 }
 
 CampaignData InferencePipeline::run_inferred_campaign(
     double duration_sec) const {
+  const obs::ObsSpan span("pipeline.run_inferred_campaign");
   CampaignData data;
+  data.report.kind = "campaign";
+  data.report.label = "inferred";
   for (const ground::Terminal& t : scenario_.terminals()) {
     data.terminal_names.push_back(t.name());
   }
 
   const time::SlotGrid& grid = scenario_.grid();
+  double confidence_weighted = 0.0;
   for (std::size_t ti = 0; ti < scenario_.terminals().size(); ++ti) {
     const ground::Terminal& terminal = scenario_.terminal(ti);
     const PipelineResult inferred = run(ti, duration_sec);
+    // absorb() sums values; means need decided-slot weighting instead.
+    confidence_weighted += inferred.report.value_or("mean_confidence", 0.0) *
+                           static_cast<double>(inferred.report.decided);
+    data.report.absorb(inferred.report);
 
     for (const SlotIdentification& row : inferred.rows) {
       const double t_mid = grid.slot_mid(row.slot);
@@ -187,6 +318,11 @@ CampaignData InferencePipeline::run_inferred_campaign(
       data.slots.push_back(std::move(obs));
     }
   }
+  data.report.add_value(
+      "mean_confidence",
+      data.report.decided == 0
+          ? 0.0
+          : confidence_weighted / static_cast<double>(data.report.decided));
   return data;
 }
 

@@ -45,6 +45,15 @@ struct SlotIdentification {
 
 struct PipelineResult {
   std::vector<SlotIdentification> rows;
+  /// Run summary: stage timings (when observability is on), slot counts,
+  /// per-quality-flag and per-abstention-reason tallies, the fault plan in
+  /// force. Filled once by InferencePipeline::run via summarize(); the
+  /// accessors below read it instead of re-scanning `rows` per call.
+  obs::RunReport report;
+
+  /// Recompute the report's slot summary from `rows` (run() calls this;
+  /// call it again only after mutating `rows` by hand).
+  void summarize();
 
   /// Fraction of decided slots (both truth and inference present) that are
   /// correct — the §4 validation metric.
@@ -58,6 +67,10 @@ struct PipelineResult {
 
   /// Number of rows carrying a given quality:: flag.
   [[nodiscard]] std::size_t flagged(std::uint32_t quality_bit) const;
+
+ private:
+  /// True once summarize() ran; hand-built results fall back to scanning.
+  bool summarized_ = false;
 };
 
 struct PipelineConfig {

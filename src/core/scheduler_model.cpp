@@ -6,6 +6,7 @@
 
 #include "analysis/stats.hpp"
 #include "ml/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace starlab::core {
 
@@ -99,10 +100,28 @@ ml::Dataset ClusterFeaturizer::build_dataset(
 ModelEvaluation train_scheduler_model(
     const CampaignData& data, const ModelTrainConfig& config,
     std::optional<std::size_t> terminal_index) {
+  const obs::ObsSpan span("train.run");
+  const bool timed = obs::enabled();
+  const std::uint64_t run_start = timed ? obs::monotonic_ns() : 0;
+
   ModelEvaluation out;
+  out.report.kind = "train";
+  out.report.label = terminal_index.has_value()
+                         ? "terminal_" + std::to_string(*terminal_index)
+                         : "pooled";
+  obs::StageStat* st_featurize =
+      timed ? &out.report.stage("featurize") : nullptr;
+  obs::StageStat* st_select = timed ? &out.report.stage("select") : nullptr;
+  obs::StageStat* st_fit = timed ? &out.report.stage("fit") : nullptr;
+  obs::StageStat* st_evaluate =
+      timed ? &out.report.stage("evaluate") : nullptr;
 
   const ClusterFeaturizer featurizer;
-  const ml::Dataset all = featurizer.build_dataset(data, terminal_index);
+  const ml::Dataset all = [&] {
+    const obs::ObsSpan stage_span("train.featurize");
+    const obs::ScopedStage stage(st_featurize);
+    return featurizer.build_dataset(data, terminal_index);
+  }();
   if (all.size() < 20) return out;
 
   std::mt19937_64 rng(config.seed);
@@ -113,26 +132,36 @@ ModelEvaluation train_scheduler_model(
   out.holdout_rows = split.test.size();
 
   // Model selection.
-  if (config.grid.has_value()) {
-    const ml::GridSearchResult gs =
-        ml::grid_search(train, *config.grid, {config.folds, config.seed});
-    out.chosen_config = gs.best_config;
-    out.cv_accuracy = gs.best_cv_accuracy;
-  } else {
-    out.chosen_config.num_trees = 80;
-    out.chosen_config.tree.max_depth = 16;
-    out.chosen_config.tree.min_samples_leaf = 2;
-    out.chosen_config.seed = config.seed;
-    out.cv_accuracy = ml::cross_validate(train, out.chosen_config,
-                                         config.folds, config.seed);
+  {
+    const obs::ObsSpan stage_span("train.select");
+    const obs::ScopedStage stage(st_select);
+    if (config.grid.has_value()) {
+      const ml::GridSearchResult gs =
+          ml::grid_search(train, *config.grid, {config.folds, config.seed});
+      out.chosen_config = gs.best_config;
+      out.cv_accuracy = gs.best_cv_accuracy;
+    } else {
+      out.chosen_config.num_trees = 80;
+      out.chosen_config.tree.max_depth = 16;
+      out.chosen_config.tree.min_samples_leaf = 2;
+      out.chosen_config.seed = config.seed;
+      out.cv_accuracy = ml::cross_validate(train, out.chosen_config,
+                                           config.folds, config.seed);
+    }
   }
 
   // Final fit and holdout evaluation.
   ml::RandomForest forest(out.chosen_config);
-  forest.fit(train);
+  {
+    const obs::ObsSpan stage_span("train.fit");
+    const obs::ScopedStage stage(st_fit);
+    forest.fit(train);
+  }
   const ml::PopularityBaseline baseline(ClusterFeaturizer::kCountOffset,
                                         ClusterFeaturizer::kNumClusters);
 
+  const obs::ObsSpan evaluate_span("train.evaluate");
+  const obs::ScopedStage evaluate_stage(st_evaluate);
   std::vector<std::vector<int>> forest_ranks, baseline_ranks;
   std::vector<int> labels;
   forest_ranks.reserve(split.test.size());
@@ -160,6 +189,15 @@ ModelEvaluation train_scheduler_model(
   }
   std::stable_sort(out.importances.begin(), out.importances.end(),
                    [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  out.report.add_value("cv_accuracy", out.cv_accuracy);
+  if (!out.forest_top_k.empty()) {
+    out.report.add_value("forest_top1", out.forest_top_k.front());
+    out.report.add_value("baseline_top1", out.baseline_top_k.front());
+  }
+  out.report.add_value("train_rows", static_cast<double>(out.train_rows));
+  out.report.add_value("holdout_rows", static_cast<double>(out.holdout_rows));
+  if (timed) out.report.wall_ns = obs::monotonic_ns() - run_start;
   return out;
 }
 

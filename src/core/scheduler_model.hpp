@@ -86,6 +86,9 @@ struct ModelEvaluation {
   std::vector<std::pair<std::string, double>> importances;
   std::size_t train_rows = 0;
   std::size_t holdout_rows = 0;
+  /// Run summary: stage timings (featurize / select / fit / evaluate, when
+  /// observability is on) plus the headline accuracies as named values.
+  obs::RunReport report;
 };
 
 /// Train and evaluate the §6 model on a campaign (all terminals pooled, or

@@ -2,9 +2,55 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obsmap/components.hpp"
 
 namespace starlab::match {
+
+namespace {
+
+/// Pre-registered identifier metrics: the DTW candidate loop is the §4 hot
+/// path, so every handle is an atomic add behind the process-wide switch.
+struct IdentifierMetrics {
+  obs::Counter slots, candidates_scored, dtw_evals, abstentions, resets;
+  obs::Histogram candidates_per_slot, best_dtw, trajectory_pixels;
+
+  static const IdentifierMetrics& get() {
+    static const IdentifierMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+      IdentifierMetrics x;
+      x.slots = reg.counter("starlab_identifier_slots_total",
+                            "Slots the identifier was asked about");
+      x.candidates_scored =
+          reg.counter("starlab_identifier_candidates_scored_total",
+                      "Candidate satellites scored against a trajectory");
+      x.dtw_evals = reg.counter(
+          "starlab_identifier_dtw_evals_total",
+          "DTW distance evaluations (two traversals per candidate)");
+      x.abstentions = reg.counter("starlab_identifier_abstentions_total",
+                                  "Slots the identifier declined to answer");
+      x.resets = reg.counter("starlab_identifier_resets_detected_total",
+                             "Frame pairs betraying an unnoticed dish reset");
+      x.candidates_per_slot = reg.histogram(
+          "starlab_identifier_candidates_per_slot",
+          {5.0, 10.0, 20.0, 40.0, 80.0, 160.0},
+          "Candidate satellites in the field of view per identified slot");
+      x.best_dtw = reg.histogram(
+          "starlab_identifier_best_dtw",
+          {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0},
+          "Winning normalized DTW distance per decided slot");
+      x.trajectory_pixels = reg.histogram(
+          "starlab_identifier_trajectory_pixels",
+          {4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+          "Isolated trajectory size per slot, in pixels");
+      return x;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<Point2> SatelliteIdentifier::candidate_path(
     std::size_t catalog_index, const ground::Terminal& terminal,
@@ -26,6 +72,9 @@ std::vector<Point2> SatelliteIdentifier::candidate_path(
 Identification SatelliteIdentifier::identify_isolated(
     const ground::Terminal& terminal, time::SlotIndex slot,
     const obsmap::ObstructionMap& isolated) const {
+  const obs::ObsSpan span("identifier.identify");
+  const IdentifierMetrics& metrics = IdentifierMetrics::get();
+  metrics.slots.add();
   Identification out;
 
   std::vector<Point2> traj;
@@ -53,11 +102,16 @@ Identification SatelliteIdentifier::identify_isolated(
     out.num_components = isolated.popcount() > 0 ? 1 : 0;
   }
   out.trajectory_pixels = traj.size();
+  metrics.trajectory_pixels.observe(static_cast<double>(traj.size()));
   if (traj.size() < config_.min_trajectory_pixels) {
     out.abstain = AbstainReason::kStarvedTrajectory;
+    metrics.abstentions.add();
     return out;
   }
-  if (out.abstained()) return out;
+  if (out.abstained()) {
+    metrics.abstentions.add();
+    return out;
+  }
 
   // The map does not encode direction of motion: score both traversals.
   std::vector<Point2> reversed(traj.rbegin(), traj.rend());
@@ -67,6 +121,7 @@ Identification SatelliteIdentifier::identify_isolated(
   const std::vector<constellation::SkyEntry> candidates =
       catalog_.visible_from(terminal.site(), jd_mid, config_.min_elevation_deg);
   out.num_candidates = static_cast<int>(candidates.size());
+  metrics.candidates_per_slot.observe(static_cast<double>(candidates.size()));
 
   for (const constellation::SkyEntry& c : candidates) {
     const std::vector<Point2> path =
@@ -76,6 +131,7 @@ Identification SatelliteIdentifier::identify_isolated(
     const double d_fwd = dtw_distance_normalized(traj, path, config_.dtw_band);
     const double d_rev =
         dtw_distance_normalized(reversed, path, config_.dtw_band);
+    metrics.dtw_evals.add(2);
 
     MatchScore s;
     s.catalog_index = c.catalog_index;
@@ -83,6 +139,7 @@ Identification SatelliteIdentifier::identify_isolated(
     s.dtw = std::min(d_fwd, d_rev);
     out.ranked.push_back(s);
   }
+  metrics.candidates_scored.add(out.ranked.size());
 
   std::sort(out.ranked.begin(), out.ranked.end(),
             [](const MatchScore& a, const MatchScore& b) {
@@ -104,14 +161,17 @@ Identification SatelliteIdentifier::identify_isolated(
   if (config_.abstain_max_dtw > 0.0 && d_best > config_.abstain_max_dtw) {
     out.abstain = AbstainReason::kHighDistance;
     out.confidence = 0.0;
+    metrics.abstentions.add();
     return out;
   }
   if (config_.abstain_margin > 0.0 && margin < config_.abstain_margin) {
     out.abstain = AbstainReason::kLowMargin;
     out.confidence = 0.0;
+    metrics.abstentions.add();
     return out;
   }
   out.best = out.ranked.front();
+  metrics.best_dtw.observe(d_best);
   return out;
 }
 
@@ -151,6 +211,7 @@ Identification SatelliteIdentifier::identify(
   if (reset) {
     Identification id = identify_isolated(terminal, slot, curr_frame);
     id.reset_detected = true;
+    IdentifierMetrics::get().resets.add();
     return id;
   }
   return identify_isolated(terminal, slot, curr_frame.exclusive_or(prev_frame));

@@ -41,6 +41,19 @@ enum class AbstainReason {
   kLowMargin,            ///< runner-up is indistinguishable from the winner
 };
 
+/// Machine-readable reason name — the key the observability layer uses in
+/// RunReport abstention counts.
+[[nodiscard]] constexpr const char* abstain_reason_name(AbstainReason r) {
+  switch (r) {
+    case AbstainReason::kNone: return "none";
+    case AbstainReason::kStarvedTrajectory: return "starved_trajectory";
+    case AbstainReason::kAmbiguousComponents: return "ambiguous_components";
+    case AbstainReason::kHighDistance: return "high_distance";
+    case AbstainReason::kLowMargin: return "low_margin";
+  }
+  return "unknown";
+}
+
 /// Identification outcome for one slot.
 struct Identification {
   std::optional<MatchScore> best;     ///< empty if abstained / no evidence

@@ -1,0 +1,27 @@
+#include "obs/config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace starlab::obs {
+
+Config init_from_env() {
+  const char* raw = std::getenv("STARLAB_OBS");
+  if (raw != nullptr) {
+    const std::string value(raw);
+    Config cfg = config();
+    if (value == "1" || value == "all") {
+      cfg = Config::all();
+    } else if (value == "metrics") {
+      cfg.metrics = true;
+    } else if (value == "trace" || value == "tracing") {
+      cfg.tracing = true;
+    } else if (value.empty() || value == "0" || value == "off") {
+      cfg = Config::disabled();
+    }
+    set_config(cfg);
+  }
+  return config();
+}
+
+}  // namespace starlab::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+// Process-wide observability switch. Instrumentation is compiled in
+// everywhere but defaults to the null sink: with both flags off, counters,
+// histograms and spans reduce to one relaxed atomic load each, stage timers
+// never read the clock, and pipeline/campaign outputs are bit-identical to
+// an uninstrumented build (the same guarantee the fault layer makes for
+// intensity 0; verified by tests_obs).
+
+#include <atomic>
+
+namespace starlab::obs {
+
+struct Config {
+  /// Metrics registry live: counters/gauges/histograms record.
+  bool metrics = false;
+  /// Tracing live: ObsSpan records into the TraceRecorder.
+  bool tracing = false;
+
+  [[nodiscard]] static Config disabled() { return {}; }
+  [[nodiscard]] static Config all() { return {true, true}; }
+};
+
+namespace detail {
+inline std::atomic<bool> g_metrics{false};
+inline std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+inline void set_config(const Config& config) {
+  detail::g_metrics.store(config.metrics, std::memory_order_relaxed);
+  detail::g_tracing.store(config.tracing, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline Config config() {
+  return {detail::g_metrics.load(std::memory_order_relaxed),
+          detail::g_tracing.load(std::memory_order_relaxed)};
+}
+
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Any instrumentation live at all (gates stage-timer clock reads).
+[[nodiscard]] inline bool enabled() {
+  return metrics_enabled() || tracing_enabled();
+}
+
+/// Apply the STARLAB_OBS environment variable, if set: "" or "0" leaves the
+/// null sink, "metrics" / "trace" enable one side, "1" / "all" enable both.
+/// Returns the resulting config. Benches call this so instrumented runs
+/// need no code change.
+Config init_from_env();
+
+}  // namespace starlab::obs

@@ -1,0 +1,113 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace starlab::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "1e308" : "-1e308";
+  // Shortest representation that still round-trips exactly.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  has_element_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  has_element_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+}
+
+}  // namespace starlab::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+// Minimal compact-JSON emitter shared by the metrics, trace and run-report
+// exporters. Produces deterministic output (no whitespace, shortest-exact
+// doubles) so serialization tests can compare golden strings.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starlab::obs {
+
+/// Escape a string for embedding inside JSON quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double the way every starlab JSON export does: shortest form
+/// that round-trips ("%.17g" trimmed), "0" for zero, never locale-dependent.
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer for compact JSON. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("pipeline");
+///   w.key("stages"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string out = std::move(w).str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+
+  [[nodiscard]] const std::string& str() const& { return out_; }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void separate();  ///< emit "," before a value/key when one precedes it
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace starlab::obs

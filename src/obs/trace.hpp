@@ -1,0 +1,75 @@
+#pragma once
+
+// RAII tracing spans with thread-local nesting, recorded against the
+// monotonic clock and exported as Chrome trace_event JSON — open a run in
+// chrome://tracing or https://ui.perfetto.dev to see where the wall-clock
+// went. Spans are compiled in everywhere and cost one relaxed atomic load
+// when tracing is off; when on, a span is two clock reads plus one
+// mutex-guarded append at end-of-scope (spans are coarse: per run, per
+// stage, per slot — never per pixel or per DTW cell).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.hpp"
+
+namespace starlab::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< monotonic_ns() at span open
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< small per-thread id (1, 2, ...)
+  std::uint32_t depth = 0;  ///< nesting depth on that thread (0 = outermost)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder every ObsSpan reports to.
+  static TraceRecorder& instance();
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  /// Timestamps are rebased to the earliest event and expressed in
+  /// microseconds, events sorted by start time.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  void record(TraceEvent event);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// One timed scope. Construct with tracing enabled to record; with tracing
+/// off the constructor is a single relaxed load and nothing else happens.
+class ObsSpan {
+ public:
+  explicit ObsSpan(std::string_view name);
+  ~ObsSpan();
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Nesting depth of the calling thread's open spans.
+  [[nodiscard]] static std::uint32_t nesting_depth();
+  /// The calling thread's trace id (assigned on first use, starting at 1).
+  [[nodiscard]] static std::uint32_t thread_id();
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace starlab::obs
