@@ -7,10 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <random>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "constellation/ephemeris_cache.hpp"
+#include "core/campaign.hpp"
+#include "exec/thread_pool.hpp"
 
 using namespace starlab;
 
@@ -31,6 +35,9 @@ void BM_Sgp4Propagate(benchmark::State& state) {
 BENCHMARK(BM_Sgp4Propagate);
 
 void BM_CatalogPropagateAll(benchmark::State& state) {
+  // Thread-scaling variant: the arg picks the exec pool width, so the
+  // BENCH_perf.json speedup of /8 over /1 is the tentpole's scaling number.
+  exec::configure({static_cast<int>(state.range(0))});
   const time::JulianDate jd =
       time::JulianDate::from_unix_seconds(sc().epoch_unix());
   double t = 0.0;
@@ -40,8 +47,46 @@ void BM_CatalogPropagateAll(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(sc().catalog().size()));
+  exec::configure({});
 }
-BENCHMARK(BM_CatalogPropagateAll);
+BENCHMARK(BM_CatalogPropagateAll)->ArgName("threads")->Arg(1)->Arg(2)->Arg(8);
+
+void BM_CampaignSlice(benchmark::State& state) {
+  // End-to-end slot fan-out (propagate + candidates + allocate per slot and
+  // terminal) at 1/2/8 exec threads — the run_campaign hot path.
+  exec::configure({static_cast<int>(state.range(0))});
+  core::CampaignConfig cfg;
+  cfg.duration_hours = 0.05;  // 12 slots x 4 terminals
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_campaign(sc(), cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 12 *
+                          static_cast<std::int64_t>(sc().terminals().size()));
+  exec::configure({});
+}
+BENCHMARK(BM_CampaignSlice)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EphemerisCacheLookFrom(benchmark::State& state) {
+  // Steady-state cache behavior: 64 satellites x 8 on-grid instants cycle,
+  // warm after the first pass. Compare with BM_Sgp4Propagate for the win.
+  const constellation::EphemerisCache cache(sc().catalog());
+  const geo::Geodetic site = sc().terminal(0).site();
+  const double base = std::ceil(sc().epoch_unix() / 0.25) * 0.25;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const time::JulianDate jd = time::JulianDate::from_unix_seconds(
+        base + 0.25 * static_cast<double>(i % 8));
+    benchmark::DoNotOptimize(cache.look_from(i % 64, site, jd));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EphemerisCacheLookFrom);
 
 void BM_VisibleFrom(benchmark::State& state) {
   const time::JulianDate jd =
@@ -78,6 +123,9 @@ void BM_DtwDistance(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(match::dtw_distance(a, b, 16));
   }
+  // Path points consumed per second — comparable across the Arg sizes.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DtwDistance)->Arg(15)->Arg(60)->Arg(240);
 
@@ -129,6 +177,38 @@ void BM_ForestPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestPredict);
+
+void BM_ForestFit(benchmark::State& state) {
+  // Per-tree parallel training (the §6 model) at 1/2/8 exec threads.
+  exec::configure({static_cast<int>(state.range(0))});
+  static const ml::Dataset data = [] {
+    ml::Dataset d(16);
+    std::mt19937 rng(17);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (int i = 0; i < 1000; ++i) {
+      std::vector<double> row(16);
+      for (double& v : row) v = u(rng);
+      d.add_row(row, row[2] + row[9] > 1.0 ? 1 : 0);
+    }
+    return d;
+  }();
+  ml::ForestConfig cfg;
+  cfg.num_trees = 40;
+  for (auto _ : state) {
+    ml::RandomForest forest(cfg);
+    forest.fit(data);
+    benchmark::DoNotOptimize(forest.oob_accuracy());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cfg.num_trees);
+  exec::configure({});
+}
+BENCHMARK(BM_ForestFit)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that additionally records each benchmark's ns/op as a
 /// named value on the run report.

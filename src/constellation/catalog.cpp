@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "exec/thread_pool.hpp"
 #include "geo/frames.hpp"
 #include "sun/eclipse.hpp"
 
@@ -41,6 +42,7 @@ Catalog::Catalog(Constellation constellation)
   for (const SatelliteRecord& r : records_) {
     ephemerides_.emplace_back(r.tle);
   }
+  build_norad_index();
 }
 
 Catalog::Catalog(const std::vector<tle::Tle>& tles) {
@@ -69,19 +71,28 @@ Catalog::Catalog(const std::vector<tle::Tle>& tles) {
   for (const SatelliteRecord& r : records_) {
     ephemerides_.emplace_back(r.tle);
   }
+  build_norad_index();
+}
+
+void Catalog::build_norad_index() {
+  index_by_norad_.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    index_by_norad_.emplace(records_[i].tle.norad_id, i);
+  }
 }
 
 std::optional<std::size_t> Catalog::index_of(int norad_id) const {
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].tle.norad_id == norad_id) return i;
-  }
-  return std::nullopt;
+  const auto it = index_by_norad_.find(norad_id);
+  if (it == index_by_norad_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<Catalog::Snapshot> Catalog::propagate_all(
     const time::JulianDate& jd) const {
   std::vector<Snapshot> out(records_.size());
-  for (std::size_t i = 0; i < records_.size(); ++i) {
+  // Each satellite's snapshot depends only on its own index, so the static
+  // partition keeps the result bit-identical at any thread count.
+  exec::default_pool().parallel_for(records_.size(), [&](std::size_t i) {
     try {
       const sgp4::StateVector st = ephemerides_[i].state_teme(jd);
       out[i].valid = true;
@@ -91,7 +102,7 @@ std::vector<Catalog::Snapshot> Catalog::propagate_all(
     } catch (const sgp4::Sgp4Error&) {
       out[i].valid = false;
     }
-  }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "constellation/synthesizer.hpp"
@@ -74,7 +75,8 @@ class Catalog {
 
   /// Propagate the whole catalog once for an instant. Campaigns evaluating
   /// several terminals at the same slot call this once and then
-  /// visible_from_snapshots() per terminal.
+  /// visible_from_snapshots() per terminal. Partitioned over satellites on
+  /// the exec::default_pool(); bit-identical at any thread count.
   [[nodiscard]] std::vector<Snapshot> propagate_all(
       const time::JulianDate& jd) const;
 
@@ -89,9 +91,14 @@ class Catalog {
                                         const time::JulianDate& jd) const;
 
  private:
+  /// Fill index_by_norad_ from records_ (first occurrence wins, matching
+  /// the former linear scan's first-match semantics).
+  void build_norad_index();
+
   std::vector<SatelliteRecord> records_;
   std::vector<LaunchBatch> launches_;
   std::vector<sgp4::Ephemeris> ephemerides_;
+  std::unordered_map<int, std::size_t> index_by_norad_;
 };
 
 }  // namespace starlab::constellation

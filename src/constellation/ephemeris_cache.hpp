@@ -1,0 +1,99 @@
+#pragma once
+
+// Memoized SGP4 states for the identifier's candidate-path sampling.
+//
+// candidate_path evaluates every candidate satellite at every sample instant
+// of a slot; the TEME state behind each evaluation is observer-independent,
+// so the same (catalog_index, time) pair asked again — by the painter that
+// drew the serving satellite's trajectory moments earlier, by the reversed
+// DTW traversal's tooling, or by another terminal at the same slot — should
+// not re-run SGP4. The cache quantizes time to a fixed grid (default 0.25 s,
+// which the 15 s / integer-second sampling of the pipeline lands on exactly)
+// and memoizes (catalog_index, quantized_time) -> TEME position.
+//
+// Bit-identity: entries are keyed by the *exact bits* of the queried
+// JulianDate, so a hit returns precisely what the direct call would compute
+// for that instant; queries away from the quantum grid bypass the cache
+// entirely (they would never repeat). Entries are pure functions of the key,
+// so concurrent queries (the identifier scores candidates in parallel) may
+// at worst compute a value twice — never a different value.
+//
+// Memory is bounded by a sliding slot window: entries live in two
+// generations keyed by a coarse time window; queries that advance past the
+// window rotate the generations and drop everything older. A query far in
+// the past (a new terminal's run restarting at the epoch) resets the cache.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "constellation/catalog.hpp"
+
+namespace starlab::constellation {
+
+class EphemerisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     ///< on-grid queries that ran SGP4
+    std::uint64_t bypasses = 0;   ///< off-grid queries (cache not consulted)
+    std::uint64_t evictions = 0;  ///< entries dropped by window rotation
+  };
+
+  /// @param quantum_sec  time grid the cache recognizes; queries off this
+  ///                     grid bypass the cache.
+  /// @param window_sec   width of one eviction generation; entries survive
+  ///                     at most two generations (~2*window_sec).
+  explicit EphemerisCache(const Catalog& catalog, double quantum_sec = 0.25,
+                          double window_sec = 60.0);
+
+  /// Look angles of `catalog_index` from `observer` at `jd` — the memoized
+  /// equivalent of Catalog::look_at. Throws sgp4::Sgp4Error exactly where
+  /// the direct call would (decayed satellites are never cached as valid).
+  [[nodiscard]] geo::LookAngles look_from(std::size_t catalog_index,
+                                          const geo::Geodetic& observer,
+                                          const time::JulianDate& jd) const;
+
+  /// TEME position of `catalog_index` at `jd`, memoized when `jd` lies on
+  /// the quantum grid. Throws sgp4::Sgp4Error when propagation fails.
+  [[nodiscard]] geo::Vec3 position_teme(std::size_t catalog_index,
+                                        const time::JulianDate& jd) const;
+
+  [[nodiscard]] const Catalog& catalog() const { return catalog_; }
+  [[nodiscard]] Stats stats() const;
+  /// Drop every entry (stats persist).
+  void clear();
+  /// Cached entries across all shards and both generations.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    bool valid = false;  ///< false: propagation threw; rethrow on use
+    geo::Vec3 teme_km;
+  };
+
+  static constexpr std::size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> current, previous;
+    std::int64_t window = INT64_MIN;  ///< generation id of `current`
+  };
+
+  /// Quantized tick (for sharding/windowing) of a near-grid unix time;
+  /// false when off-grid, i.e. not worth caching.
+  [[nodiscard]] bool quantize(double unix_sec, std::int64_t& tick) const;
+  [[nodiscard]] Entry lookup_or_compute(std::size_t catalog_index,
+                                        std::int64_t tick,
+                                        const time::JulianDate& jd) const;
+
+  const Catalog& catalog_;
+  double quantum_sec_;
+  std::int64_t window_ticks_;
+  mutable Shard shards_[kNumShards];
+  mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, bypasses_{0},
+      evictions_{0};
+};
+
+}  // namespace starlab::constellation

@@ -1,7 +1,9 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injectors.hpp"
 #include "obs/metrics.hpp"
@@ -79,67 +81,104 @@ CampaignData run_campaign(const Scenario& scenario,
   const bool inject_dropout =
       plan.intensity > 0.0 && plan.dropout.rate > 0.0;
 
+  // Every (slot, terminal) observation depends only on (slot, terminal):
+  // the oracle is stateless in both, the dropout injector is hash-keyed, and
+  // one catalog propagation is shared by a slot's terminals. Slots are
+  // therefore independent work items, partitioned over the exec pool and
+  // flattened back in slot order — bit-identical to the former serial loop
+  // at any thread count.
+  std::vector<time::SlotIndex> slot_ids;
   for (time::SlotIndex s = first; s < first + num_slots;
        s += config.slot_stride) {
-    const double t_mid = grid.slot_mid(s);
-    const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
+    slot_ids.push_back(s);
+  }
+  std::vector<std::vector<SlotObs>> per_slot(slot_ids.size());
 
-    // One catalog propagation shared by every terminal in this slot.
-    const std::vector<constellation::Catalog::Snapshot> snaps = [&] {
-      const obs::ScopedStage stage(st_propagate);
-      return catalog.propagate_all(jd);
-    }();
+  std::mutex stages_mu;  ///< guards the shared StageStats during chunk merge
+  exec::default_pool().parallel_for_chunks(
+      slot_ids.size(), [&](std::size_t begin, std::size_t end) {
+        // Per-chunk stage clocks, merged once at chunk end so the shared
+        // report never sees concurrent writes.
+        obs::StageStat local_propagate, local_candidates, local_allocate;
+        obs::StageStat* lp = timed ? &local_propagate : nullptr;
+        obs::StageStat* lc = timed ? &local_candidates : nullptr;
+        obs::StageStat* la = timed ? &local_allocate : nullptr;
 
-    for (std::size_t ti = 0; ti < scenario.terminals().size(); ++ti) {
-      const ground::Terminal& terminal = scenario.terminal(ti);
-      std::vector<ground::Candidate> candidates = [&] {
-        const obs::ScopedStage stage(st_candidates);
-        return terminal.candidates_from_snapshots(catalog, snaps, jd);
-      }();
+        for (std::size_t k = begin; k < end; ++k) {
+          const time::SlotIndex s = slot_ids[k];
+          const double t_mid = grid.slot_mid(s);
+          const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
 
-      bool any_dropped = false;
-      if (inject_dropout) {
-        const auto is_dropped = [&](const ground::Candidate& c) {
-          return dropout.dropped(c.sky.norad_id, s);
-        };
-        const auto removed =
-            std::remove_if(candidates.begin(), candidates.end(), is_dropped);
-        any_dropped = removed != candidates.end();
-        candidates.erase(removed, candidates.end());
-      }
+          // One catalog propagation shared by every terminal in this slot.
+          const std::vector<constellation::Catalog::Snapshot> snaps = [&] {
+            const obs::ScopedStage stage(lp);
+            return catalog.propagate_all(jd);
+          }();
 
-      SlotObs obs;
-      obs.slot = s;
-      obs.terminal_index = ti;
-      obs.unix_mid = t_mid;
-      obs.local_hour =
-          sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
-      if (any_dropped) obs.quality |= quality::kCandidateDropout;
+          for (std::size_t ti = 0; ti < scenario.terminals().size(); ++ti) {
+            const ground::Terminal& terminal = scenario.terminal(ti);
+            std::vector<ground::Candidate> candidates = [&] {
+              const obs::ScopedStage stage(lc);
+              return terminal.candidates_from_snapshots(catalog, snaps, jd);
+            }();
 
-      // Record the usable candidates (paper: "available satellites").
-      for (const ground::Candidate& c : candidates) {
-        if (!c.usable()) continue;
-        obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
-                                 c.sky.look.elevation_deg, c.sky.age_days,
-                                 c.sky.sunlit});
-      }
+            bool any_dropped = false;
+            if (inject_dropout) {
+              const auto is_dropped = [&](const ground::Candidate& c) {
+                return dropout.dropped(c.sky.norad_id, s);
+              };
+              const auto removed = std::remove_if(candidates.begin(),
+                                                  candidates.end(), is_dropped);
+              any_dropped = removed != candidates.end();
+              candidates.erase(removed, candidates.end());
+            }
 
-      // `obs` names the SlotObs above here, so qualify the namespace fully.
-      const std::optional<scheduler::Allocation> alloc = [&] {
-        const starlab::obs::ScopedStage stage(st_allocate);
-        return global.allocate_from(terminal, s, candidates);
-      }();
-      if (alloc.has_value()) {
-        for (std::size_t i = 0; i < obs.available.size(); ++i) {
-          if (obs.available[i].norad_id == alloc->norad_id) {
-            obs.chosen = static_cast<int>(i);
-            break;
+            SlotObs slot_obs;
+            slot_obs.slot = s;
+            slot_obs.terminal_index = ti;
+            slot_obs.unix_mid = t_mid;
+            slot_obs.local_hour =
+                sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+            if (any_dropped) slot_obs.quality |= quality::kCandidateDropout;
+
+            // Record the usable candidates (paper: "available satellites").
+            for (const ground::Candidate& c : candidates) {
+              if (!c.usable()) continue;
+              slot_obs.available.push_back(
+                  {c.sky.norad_id, c.sky.look.azimuth_deg,
+                   c.sky.look.elevation_deg, c.sky.age_days, c.sky.sunlit});
+            }
+
+            const std::optional<scheduler::Allocation> alloc = [&] {
+              const obs::ScopedStage stage(la);
+              return global.allocate_from(terminal, s, candidates);
+            }();
+            if (alloc.has_value()) {
+              for (std::size_t i = 0; i < slot_obs.available.size(); ++i) {
+                if (slot_obs.available[i].norad_id == alloc->norad_id) {
+                  slot_obs.chosen = static_cast<int>(i);
+                  break;
+                }
+              }
+            }
+            if (!slot_obs.has_choice()) slot_obs.confidence = 0.0;
+            per_slot[k].push_back(std::move(slot_obs));
           }
         }
-      }
-      if (!obs.has_choice()) obs.confidence = 0.0;
-      data.slots.push_back(std::move(obs));
-    }
+
+        if (timed) {
+          const std::lock_guard<std::mutex> lock(stages_mu);
+          st_propagate->wall_ns += local_propagate.wall_ns;
+          st_propagate->calls += local_propagate.calls;
+          st_candidates->wall_ns += local_candidates.wall_ns;
+          st_candidates->calls += local_candidates.calls;
+          st_allocate->wall_ns += local_allocate.wall_ns;
+          st_allocate->calls += local_allocate.calls;
+        }
+      });
+
+  for (std::vector<SlotObs>& rows : per_slot) {
+    for (SlotObs& row : rows) data.slots.push_back(std::move(row));
   }
 
   // Run summary: slot counts, per-flag counts, the plan in force. Computed

@@ -1,7 +1,9 @@
 #include "match/identifier.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obsmap/components.hpp"
@@ -61,7 +63,9 @@ std::vector<Point2> SatelliteIdentifier::candidate_path(
   for (double t = t_begin; t < t_end; t += config_.sample_interval_sec) {
     const time::JulianDate jd = time::JulianDate::from_unix_seconds(t);
     const geo::LookAngles look =
-        catalog_.look_at(catalog_index, terminal.site(), jd);
+        ephemeris_cache_ != nullptr
+            ? ephemeris_cache_->look_from(catalog_index, terminal.site(), jd)
+            : catalog_.look_at(catalog_index, terminal.site(), jd);
     if (look.elevation_deg < geometry_.min_elevation_deg) continue;
     path.push_back(
         sky_to_plane({look.azimuth_deg, look.elevation_deg}, geometry_));
@@ -71,7 +75,8 @@ std::vector<Point2> SatelliteIdentifier::candidate_path(
 
 Identification SatelliteIdentifier::identify_isolated(
     const ground::Terminal& terminal, time::SlotIndex slot,
-    const obsmap::ObstructionMap& isolated) const {
+    const obsmap::ObstructionMap& isolated,
+    std::span<const constellation::Catalog::Snapshot> snapshots) const {
   const obs::ObsSpan span("identifier.identify");
   const IdentifierMetrics& metrics = IdentifierMetrics::get();
   metrics.slots.add();
@@ -118,27 +123,46 @@ Identification SatelliteIdentifier::identify_isolated(
 
   const time::JulianDate jd_mid =
       time::JulianDate::from_unix_seconds(grid_.slot_mid(slot));
+  // Candidate query: against the caller's whole-catalog snapshots when
+  // provided, otherwise one (parallel) propagation here. Both paths produce
+  // the same entries visible_from() would.
   const std::vector<constellation::SkyEntry> candidates =
-      catalog_.visible_from(terminal.site(), jd_mid, config_.min_elevation_deg);
+      snapshots.empty()
+          ? catalog_.visible_from_snapshots(catalog_.propagate_all(jd_mid),
+                                            terminal.site(), jd_mid,
+                                            config_.min_elevation_deg)
+          : catalog_.visible_from_snapshots(snapshots, terminal.site(), jd_mid,
+                                            config_.min_elevation_deg);
   out.num_candidates = static_cast<int>(candidates.size());
   metrics.candidates_per_slot.observe(static_cast<double>(candidates.size()));
 
-  for (const constellation::SkyEntry& c : candidates) {
+  // §4's hot loop: per-candidate path sampling plus two DTW traversals.
+  // Scored in parallel into a slot-per-candidate buffer, then assembled in
+  // candidate order — bit-identical to the serial loop at any thread count.
+  struct ScoredCandidate {
+    bool present = false;
+    MatchScore score;
+  };
+  std::vector<ScoredCandidate> scored(candidates.size());
+  exec::default_pool().parallel_for(candidates.size(), [&](std::size_t k) {
+    const constellation::SkyEntry& c = candidates[k];
     const std::vector<Point2> path =
         candidate_path(c.catalog_index, terminal, slot);
-    if (path.empty()) continue;
+    if (path.empty()) return;
 
     const double d_fwd = dtw_distance_normalized(traj, path, config_.dtw_band);
     const double d_rev =
         dtw_distance_normalized(reversed, path, config_.dtw_band);
-    metrics.dtw_evals.add(2);
 
-    MatchScore s;
-    s.catalog_index = c.catalog_index;
-    s.norad_id = c.norad_id;
-    s.dtw = std::min(d_fwd, d_rev);
-    out.ranked.push_back(s);
+    scored[k].present = true;
+    scored[k].score.catalog_index = c.catalog_index;
+    scored[k].score.norad_id = c.norad_id;
+    scored[k].score.dtw = std::min(d_fwd, d_rev);
+  });
+  for (const ScoredCandidate& sc : scored) {
+    if (sc.present) out.ranked.push_back(sc.score);
   }
+  metrics.dtw_evals.add(2 * out.ranked.size());
   metrics.candidates_scored.add(out.ranked.size());
 
   std::sort(out.ranked.begin(), out.ranked.end(),
@@ -178,14 +202,13 @@ Identification SatelliteIdentifier::identify_isolated(
 namespace {
 
 /// Pixels set in `prev` but missing from `curr` — the evidence that the
-/// dish's monotone accumulation was interrupted.
+/// dish's monotone accumulation was interrupted. Word-wise: pixels are
+/// 0x00/0x01 bytes, so `prev & ~curr` has exactly one bit per lost pixel.
 int pixels_lost(const obsmap::ObstructionMap& prev,
                 const obsmap::ObstructionMap& curr) {
   int lost = 0;
-  for (int y = 0; y < obsmap::ObstructionMap::kSize; ++y) {
-    for (int x = 0; x < obsmap::ObstructionMap::kSize; ++x) {
-      if (prev.get(x, y) && !curr.get(x, y)) ++lost;
-    }
+  for (std::size_t i = 0; i < obsmap::ObstructionMap::kNumWords; ++i) {
+    lost += std::popcount(prev.word(i) & ~curr.word(i));
   }
   return lost;
 }
@@ -195,7 +218,8 @@ int pixels_lost(const obsmap::ObstructionMap& prev,
 Identification SatelliteIdentifier::identify(
     const ground::Terminal& terminal, time::SlotIndex slot,
     const obsmap::ObstructionMap& prev_frame,
-    const obsmap::ObstructionMap& curr_frame) const {
+    const obsmap::ObstructionMap& curr_frame,
+    std::span<const constellation::Catalog::Snapshot> snapshots) const {
   // A dish accumulates monotonically between reboots: if the previous frame
   // is NOT a subset of the current one, the dish was reset in between and
   // the current frame holds only the newest trajectory — use it directly
@@ -209,12 +233,13 @@ Identification SatelliteIdentifier::identify(
                                config_.reset_pixel_tolerance
                          : !prev_frame.subset_of(curr_frame);
   if (reset) {
-    Identification id = identify_isolated(terminal, slot, curr_frame);
+    Identification id = identify_isolated(terminal, slot, curr_frame, snapshots);
     id.reset_detected = true;
     IdentifierMetrics::get().resets.add();
     return id;
   }
-  return identify_isolated(terminal, slot, curr_frame.exclusive_or(prev_frame));
+  return identify_isolated(terminal, slot, curr_frame.exclusive_or(prev_frame),
+                           snapshots);
 }
 
 }  // namespace starlab::match

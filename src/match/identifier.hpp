@@ -11,9 +11,11 @@
 // does not encode motion direction.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "constellation/catalog.hpp"
+#include "constellation/ephemeris_cache.hpp"
 #include "ground/terminal.hpp"
 #include "match/dtw.hpp"
 #include "match/trajectory.hpp"
@@ -118,16 +120,24 @@ class SatelliteIdentifier {
       : catalog_(catalog), geometry_(geometry), grid_(grid), config_(config) {}
 
   /// Identify the satellite serving `terminal` during `slot`, from the
-  /// obstruction-map frames fetched at the end of slot-1 and slot.
-  [[nodiscard]] Identification identify(const ground::Terminal& terminal,
-                                        time::SlotIndex slot,
-                                        const obsmap::ObstructionMap& prev_frame,
-                                        const obsmap::ObstructionMap& curr_frame) const;
+  /// obstruction-map frames fetched at the end of slot-1 and slot. When the
+  /// caller already holds a whole-catalog propagation for the slot midpoint
+  /// (the pipeline computes one per slot), pass it as `snapshots` so the
+  /// candidate query reuses it instead of re-propagating the catalog.
+  [[nodiscard]] Identification identify(
+      const ground::Terminal& terminal, time::SlotIndex slot,
+      const obsmap::ObstructionMap& prev_frame,
+      const obsmap::ObstructionMap& curr_frame,
+      std::span<const constellation::Catalog::Snapshot> snapshots = {}) const;
 
-  /// Identify from an already-isolated trajectory frame.
+  /// Identify from an already-isolated trajectory frame. Candidate scoring
+  /// (path sampling + both DTW traversals per candidate) is partitioned over
+  /// the exec::default_pool(); scores are assembled in candidate order so
+  /// the result is bit-identical at any thread count.
   [[nodiscard]] Identification identify_isolated(
       const ground::Terminal& terminal, time::SlotIndex slot,
-      const obsmap::ObstructionMap& isolated) const;
+      const obsmap::ObstructionMap& isolated,
+      std::span<const constellation::Catalog::Snapshot> snapshots = {}) const;
 
   /// The painted sky path a candidate would leave during a slot, in plane
   /// coordinates (exposed for validation plots and tests).
@@ -135,11 +145,19 @@ class SatelliteIdentifier {
       std::size_t catalog_index, const ground::Terminal& terminal,
       time::SlotIndex slot) const;
 
+  /// Route candidate-path SGP4 sampling through a memoized ephemeris cache
+  /// (bit-identical; see constellation::EphemerisCache). The cache must
+  /// outlive the identifier; nullptr restores direct propagation.
+  void set_ephemeris_cache(const constellation::EphemerisCache* cache) {
+    ephemeris_cache_ = cache;
+  }
+
  private:
   const constellation::Catalog& catalog_;
   obsmap::MapGeometry geometry_;
   time::SlotGrid grid_;
   IdentifierConfig config_;
+  const constellation::EphemerisCache* ephemeris_cache_ = nullptr;
 };
 
 }  // namespace starlab::match

@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <mutex>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
+
 namespace starlab::ml {
+
+namespace {
+
+/// splitmix64 finalizer — turns (seed + tree index) into decorrelated
+/// per-tree RNG seeds, so every tree's stream is independent of which
+/// thread trains it.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 void RandomForest::fit(const Dataset& data) {
   if (data.size() == 0) throw std::invalid_argument("empty training set");
@@ -21,40 +38,53 @@ void RandomForest::fit(const Dataset& data) {
         1, static_cast<int>(std::sqrt(static_cast<double>(num_features_))));
   }
 
-  std::mt19937_64 rng(config_.seed);
   const auto n_boot = static_cast<std::size_t>(
       config_.bootstrap_fraction * static_cast<double>(data.size()));
-  std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
 
-  // Out-of-bag vote tally: votes[i * classes + c].
+  // Out-of-bag vote tally: votes[i * classes + c]. Trees merge their votes
+  // under a mutex; integer additions commute, so the final tally (and thus
+  // oob_accuracy) is identical no matter which thread finishes first.
   std::vector<int> oob_votes;
-  std::vector<bool> in_bag;
   if (config_.compute_oob) {
     oob_votes.assign(data.size() * static_cast<std::size_t>(num_classes_), 0);
   }
+  std::mutex oob_mu;
 
-  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
-  for (int t = 0; t < config_.num_trees; ++t) {
-    std::vector<std::size_t> sample(n_boot);
-    if (config_.compute_oob) in_bag.assign(data.size(), false);
-    for (std::size_t& s : sample) {
-      s = pick(rng);
-      if (config_.compute_oob) in_bag[s] = true;
-    }
+  // Each tree draws from its own splitmix64-derived stream, so tree t's
+  // bootstrap sample and split choices depend only on (config.seed, t) —
+  // never on thread scheduling. Trees land in their slot by index.
+  trees_.assign(static_cast<std::size_t>(config_.num_trees),
+                DecisionTree(tree_cfg));
+  exec::default_pool().parallel_for(
+      trees_.size(), [&](std::size_t t) {
+        std::mt19937_64 rng(mix64(config_.seed + t));
+        std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
 
-    DecisionTree tree(tree_cfg);
-    tree.fit(data, sample, rng);
+        std::vector<std::size_t> sample(n_boot);
+        std::vector<bool> in_bag;
+        if (config_.compute_oob) in_bag.assign(data.size(), false);
+        for (std::size_t& s : sample) {
+          s = pick(rng);
+          if (config_.compute_oob) in_bag[s] = true;
+        }
 
-    if (config_.compute_oob) {
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        if (in_bag[i]) continue;
-        const int predicted = tree.predict(data.row(i));
-        oob_votes[i * static_cast<std::size_t>(num_classes_) +
+        trees_[t].fit(data, sample, rng);
+
+        if (config_.compute_oob) {
+          std::vector<int> local(
+              data.size() * static_cast<std::size_t>(num_classes_), 0);
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            if (in_bag[i]) continue;
+            const int predicted = trees_[t].predict(data.row(i));
+            local[i * static_cast<std::size_t>(num_classes_) +
                   static_cast<std::size_t>(predicted)] += 1;
-      }
-    }
-    trees_.push_back(std::move(tree));
-  }
+          }
+          const std::lock_guard<std::mutex> lock(oob_mu);
+          for (std::size_t i = 0; i < oob_votes.size(); ++i) {
+            oob_votes[i] += local[i];
+          }
+        }
+      });
 
   if (config_.compute_oob) {
     std::size_t voted = 0, correct = 0;

@@ -1,13 +1,25 @@
 #include "obsmap/obstruction_map.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace starlab::obsmap {
 
+std::uint64_t ObstructionMap::word(std::size_t i) const {
+  std::uint64_t w = 0;
+  std::memcpy(&w, bits_.data() + i * 8, 8);
+  return w;
+}
+
 std::size_t ObstructionMap::popcount() const {
-  return static_cast<std::size_t>(
-      std::count_if(bits_.begin(), bits_.end(),
-                    [](std::uint8_t b) { return b != 0; }));
+  // Pixels are 0x00/0x01 bytes, so each set pixel contributes exactly one
+  // bit to its word; pad bytes are always zero.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kNumWords; ++i) {
+    n += static_cast<std::size_t>(std::popcount(word(i)));
+  }
+  return n;
 }
 
 std::vector<Pixel> ObstructionMap::set_pixels() const {
@@ -42,10 +54,11 @@ bool ObstructionMap::subset_of(const ObstructionMap& other) const {
 }
 
 std::string ObstructionMap::to_pgm() const {
+  constexpr std::size_t kPixels = static_cast<std::size_t>(kSize) * kSize;
   std::string out = "P5\n123 123\n255\n";
-  out.reserve(out.size() + bits_.size());
-  for (const std::uint8_t b : bits_) {
-    out.push_back(b ? static_cast<char>(255) : static_cast<char>(0));
+  out.reserve(out.size() + kPixels);
+  for (std::size_t i = 0; i < kPixels; ++i) {
+    out.push_back(bits_[i] ? static_cast<char>(255) : static_cast<char>(0));
   }
   return out;
 }

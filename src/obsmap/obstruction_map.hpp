@@ -16,8 +16,12 @@ namespace starlab::obsmap {
 class ObstructionMap {
  public:
   static constexpr int kSize = 123;
+  /// Pixel bytes viewed as 64-bit words (the storage is padded with
+  /// always-zero bytes up to a word boundary).
+  static constexpr std::size_t kNumWords =
+      (static_cast<std::size_t>(kSize) * kSize + 7) / 8;
 
-  ObstructionMap() : bits_(kSize * kSize, 0) {}
+  ObstructionMap() : bits_(kNumWords * 8, 0) {}
 
   [[nodiscard]] bool get(int x, int y) const {
     return in_bounds(x, y) && bits_[index(x, y)] != 0;
@@ -35,6 +39,12 @@ class ObstructionMap {
 
   /// Number of set pixels.
   [[nodiscard]] std::size_t popcount() const;
+
+  /// The i-th 64-bit word of pixel storage (8 one-byte pixels, 0x00/0x01
+  /// each; trailing pad bytes are always zero). Word-wise scans — the reset
+  /// detector's `prev & ~curr` popcount, the word-wise popcount() — walk
+  /// these instead of 15k individual pixels.
+  [[nodiscard]] std::uint64_t word(std::size_t i) const;
 
   /// All set pixels, row-major order.
   [[nodiscard]] std::vector<Pixel> set_pixels() const;

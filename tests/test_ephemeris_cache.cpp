@@ -1,0 +1,174 @@
+#include "constellation/ephemeris_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab::constellation {
+namespace {
+
+using starlab::testing::tiny_scenario;
+
+/// A unix time on the default 0.25 s cache grid, inside the scenario's
+/// propagation validity window. Multiples of 0.25 at unix scale are exactly
+/// representable, so quantization recognizes it as on-grid.
+double on_grid_time() {
+  const auto& scenario = tiny_scenario();
+  return std::ceil(scenario.grid().slot_mid(scenario.first_slot()) / 0.25) *
+         0.25;
+}
+
+TEST(EphemerisCache, SecondOnGridQueryIsAHit) {
+  const EphemerisCache cache(tiny_scenario().catalog());
+  const auto jd = time::JulianDate::from_unix_seconds(on_grid_time());
+  const geo::Vec3 first = cache.position_teme(0, jd);
+  const geo::Vec3 second = cache.position_teme(0, jd);
+  EXPECT_EQ(first.x, second.x);
+  EXPECT_EQ(first.y, second.y);
+  EXPECT_EQ(first.z, second.z);
+  const EphemerisCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EphemerisCache, OffGridQueryBypassesTheCache) {
+  const EphemerisCache cache(tiny_scenario().catalog());
+  const auto jd = time::JulianDate::from_unix_seconds(on_grid_time() + 0.1);
+  (void)cache.position_teme(0, jd);
+  (void)cache.position_teme(0, jd);
+  const EphemerisCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.bypasses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(cache.size(), 0u);  // nothing memoized for off-grid instants
+}
+
+TEST(EphemerisCache, LookFromIsBitIdenticalToDirectLookAt) {
+  const Catalog& catalog = tiny_scenario().catalog();
+  const geo::Geodetic site = tiny_scenario().terminal(0).site();
+  const EphemerisCache cache(catalog);
+  const double t0 = on_grid_time();
+  // On-grid, off-grid, cold and warm queries must all reproduce the direct
+  // call bit for bit.
+  for (const double dt : {0.0, 0.25, 0.1, 0.0, 15.0, 7.5, 0.3}) {
+    for (std::size_t index : {std::size_t{0}, std::size_t{3}, std::size_t{17}}) {
+      const auto jd = time::JulianDate::from_unix_seconds(t0 + dt);
+      const geo::LookAngles direct = catalog.look_at(index, site, jd);
+      const geo::LookAngles cached = cache.look_from(index, site, jd);
+      EXPECT_EQ(direct.azimuth_deg, cached.azimuth_deg);
+      EXPECT_EQ(direct.elevation_deg, cached.elevation_deg);
+      EXPECT_EQ(direct.range_km, cached.range_km);
+    }
+  }
+}
+
+TEST(EphemerisCache, AdjacentWindowKeepsRecentEntriesAlive) {
+  // window_sec = 4 s -> 16 ticks per generation. A query one window ahead
+  // rotates current -> previous without dropping it, so the original entry
+  // still hits.
+  const EphemerisCache cache(tiny_scenario().catalog(), 0.25, 4.0);
+  const double t0 = std::floor(on_grid_time() / 4.0) * 4.0;  // window start
+  const auto jd0 = time::JulianDate::from_unix_seconds(t0);
+  const auto jd1 = time::JulianDate::from_unix_seconds(t0 + 4.0);
+  (void)cache.position_teme(0, jd0);  // miss, cached in window w
+  (void)cache.position_teme(0, jd1);  // miss, rotates the shard to w+1
+  (void)cache.position_teme(0, jd0);  // hit from the previous generation
+  const EphemerisCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(EphemerisCache, FarAdvanceEvictsStaleEntries) {
+  const Catalog& catalog = tiny_scenario().catalog();
+  const EphemerisCache cache(catalog, 0.25, 4.0);
+  const double t0 = std::floor(on_grid_time() / 4.0) * 4.0;
+  constexpr std::size_t kSats = 200;  // cover all 16 shards w.h.p.
+  for (std::size_t i = 0; i < kSats; ++i) {
+    (void)cache.position_teme(i, time::JulianDate::from_unix_seconds(t0));
+  }
+  EXPECT_EQ(cache.size(), kSats);
+  // Three windows later: nothing from t0 may survive in shards we touch.
+  const auto jd_late = time::JulianDate::from_unix_seconds(t0 + 12.0);
+  for (std::size_t i = 0; i < kSats; ++i) {
+    (void)cache.position_teme(i, jd_late);
+  }
+  const EphemerisCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(cache.size(), 2 * kSats - stats.evictions);
+  // The stale instant now misses again (recomputed, not wrong).
+  const std::uint64_t misses_before = cache.stats().misses;
+  (void)cache.position_teme(0, time::JulianDate::from_unix_seconds(t0));
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(EphemerisCache, ClearDropsEntriesButKeepsStats) {
+  const Catalog& catalog = tiny_scenario().catalog();
+  EphemerisCache cache(catalog);
+  const auto jd = time::JulianDate::from_unix_seconds(on_grid_time());
+  (void)cache.position_teme(0, jd);
+  (void)cache.position_teme(1, jd);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  (void)cache.position_teme(0, jd);
+  EXPECT_EQ(cache.stats().misses, 3u);  // recomputed after clear
+}
+
+TEST(EphemerisCache, RealPipelineRunActuallyHitsTheCache) {
+  // Guards the grid alignment: slot boundaries (12 + s*15 s) sampled at 1 s
+  // steps must land on the cache's 0.25 s quantum, so every candidate after
+  // the first at a slot hits what the first one computed. If a change to the
+  // grid or the sampling breaks that, the cache silently degrades to
+  // all-bypass — still correct, no longer useful — and this test fails.
+  const obs::Config saved = obs::config();
+  obs::set_config(obs::Config::all());
+  obs::Counter hits = obs::MetricsRegistry::instance().counter(
+      "starlab_ephemeris_cache_hits_total");
+  const std::uint64_t before = hits.value();
+  const core::InferencePipeline pipeline(tiny_scenario());
+  (void)pipeline.run(0, 300.0);
+  EXPECT_GT(hits.value(), before);
+  obs::set_config(saved);
+}
+
+TEST(EphemerisCache, ConcurrentQueriesAgreeWithSerialAnswers) {
+  const Catalog& catalog = tiny_scenario().catalog();
+  const geo::Geodetic site = tiny_scenario().terminal(0).site();
+  const double t0 = on_grid_time();
+  constexpr std::size_t kQueries = 256;
+
+  const auto jd_of = [&](std::size_t q) {
+    return time::JulianDate::from_unix_seconds(
+        t0 + 0.25 * static_cast<double>(q % 8));
+  };
+  std::vector<geo::LookAngles> serial(kQueries);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    serial[q] = catalog.look_at(q % 32, site, jd_of(q));
+  }
+
+  const EphemerisCache cache(catalog);
+  exec::ThreadPool pool({8});
+  std::vector<geo::LookAngles> parallel(kQueries);
+  pool.parallel_for(kQueries, [&](std::size_t q) {
+    parallel[q] = cache.look_from(q % 32, site, jd_of(q));
+  });
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    EXPECT_EQ(serial[q].azimuth_deg, parallel[q].azimuth_deg);
+    EXPECT_EQ(serial[q].elevation_deg, parallel[q].elevation_deg);
+    EXPECT_EQ(serial[q].range_km, parallel[q].range_km);
+  }
+}
+
+}  // namespace
+}  // namespace starlab::constellation

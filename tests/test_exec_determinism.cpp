@@ -1,0 +1,176 @@
+// The exec layer's central promise, end to end: every parallelized hot path
+// (Catalog::propagate_all, the identifier's candidate loop inside the
+// pipeline, run_campaign, RandomForest::fit) produces byte-identical output
+// at any thread count. Each test computes a num_threads == 1 baseline and
+// compares the num_threads in {2, 8} runs against it field by field with
+// exact (bitwise) double equality.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "ml/random_forest.hpp"
+#include "test_helpers.hpp"
+
+namespace starlab {
+namespace {
+
+using starlab::testing::tiny_scenario;
+
+/// Restores the default pool to the hardware default on scope exit, so these
+/// tests never leak a thread-count override into other suites.
+struct PoolGuard {
+  ~PoolGuard() { exec::configure({}); }
+};
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+TEST(ExecDeterminism, PropagateAllBitIdenticalAcrossThreadCounts) {
+  const PoolGuard guard;
+  const constellation::Catalog& catalog = tiny_scenario().catalog();
+  const auto jd = time::JulianDate::from_unix_seconds(
+      tiny_scenario().grid().slot_mid(tiny_scenario().first_slot()));
+
+  exec::configure({1});
+  const std::vector<constellation::Catalog::Snapshot> baseline =
+      catalog.propagate_all(jd);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const int nt : kThreadCounts) {
+    exec::configure({nt});
+    const std::vector<constellation::Catalog::Snapshot> snaps =
+        catalog.propagate_all(jd);
+    ASSERT_EQ(snaps.size(), baseline.size()) << "threads=" << nt;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      EXPECT_EQ(snaps[i].valid, baseline[i].valid);
+      EXPECT_EQ(snaps[i].teme_km.x, baseline[i].teme_km.x);
+      EXPECT_EQ(snaps[i].teme_km.y, baseline[i].teme_km.y);
+      EXPECT_EQ(snaps[i].teme_km.z, baseline[i].teme_km.z);
+      EXPECT_EQ(snaps[i].ecef_km.x, baseline[i].ecef_km.x);
+      EXPECT_EQ(snaps[i].ecef_km.y, baseline[i].ecef_km.y);
+      EXPECT_EQ(snaps[i].ecef_km.z, baseline[i].ecef_km.z);
+      EXPECT_EQ(snaps[i].sunlit, baseline[i].sunlit);
+    }
+  }
+}
+
+void expect_rows_identical(const core::PipelineResult& a,
+                           const core::PipelineResult& b, int nt) {
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << "threads=" << nt;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const core::SlotIdentification& x = a.rows[i];
+    const core::SlotIdentification& y = b.rows[i];
+    EXPECT_EQ(x.slot, y.slot) << "threads=" << nt << " row=" << i;
+    EXPECT_EQ(x.truth_norad, y.truth_norad) << "row=" << i;
+    EXPECT_EQ(x.inferred_norad, y.inferred_norad) << "row=" << i;
+    EXPECT_EQ(x.dtw, y.dtw) << "row=" << i;  // exact: same bits or bust
+    EXPECT_EQ(x.num_candidates, y.num_candidates) << "row=" << i;
+    EXPECT_EQ(x.trajectory_pixels, y.trajectory_pixels) << "row=" << i;
+    EXPECT_EQ(x.quality, y.quality) << "row=" << i;
+    EXPECT_EQ(x.confidence, y.confidence) << "row=" << i;
+    EXPECT_EQ(x.abstain, y.abstain) << "row=" << i;
+  }
+}
+
+TEST(ExecDeterminism, PipelineBitIdenticalAcrossThreadCounts) {
+  const PoolGuard guard;
+  const core::InferencePipeline pipeline(tiny_scenario());
+
+  exec::configure({1});
+  const core::PipelineResult baseline = pipeline.run(0, 900.0);
+  ASSERT_FALSE(baseline.rows.empty());
+
+  for (const int nt : kThreadCounts) {
+    exec::configure({nt});
+    expect_rows_identical(pipeline.run(0, 900.0), baseline, nt);
+  }
+}
+
+TEST(ExecDeterminism, CampaignBitIdenticalAcrossThreadCounts) {
+  const PoolGuard guard;
+  core::CampaignConfig cfg;
+  cfg.duration_hours = 0.25;
+
+  exec::configure({1});
+  const core::CampaignData baseline = run_campaign(tiny_scenario(), cfg);
+  ASSERT_FALSE(baseline.slots.empty());
+
+  for (const int nt : kThreadCounts) {
+    exec::configure({nt});
+    const core::CampaignData data = run_campaign(tiny_scenario(), cfg);
+    ASSERT_EQ(data.slots.size(), baseline.slots.size()) << "threads=" << nt;
+    for (std::size_t i = 0; i < data.slots.size(); ++i) {
+      const core::SlotObs& x = data.slots[i];
+      const core::SlotObs& y = baseline.slots[i];
+      EXPECT_EQ(x.slot, y.slot) << "threads=" << nt << " row=" << i;
+      EXPECT_EQ(x.terminal_index, y.terminal_index) << "row=" << i;
+      EXPECT_EQ(x.unix_mid, y.unix_mid) << "row=" << i;
+      EXPECT_EQ(x.local_hour, y.local_hour) << "row=" << i;
+      EXPECT_EQ(x.chosen, y.chosen) << "row=" << i;
+      EXPECT_EQ(x.quality, y.quality) << "row=" << i;
+      EXPECT_EQ(x.confidence, y.confidence) << "row=" << i;
+      ASSERT_EQ(x.available.size(), y.available.size()) << "row=" << i;
+      for (std::size_t c = 0; c < x.available.size(); ++c) {
+        EXPECT_EQ(x.available[c].norad_id, y.available[c].norad_id);
+        EXPECT_EQ(x.available[c].azimuth_deg, y.available[c].azimuth_deg);
+        EXPECT_EQ(x.available[c].elevation_deg, y.available[c].elevation_deg);
+        EXPECT_EQ(x.available[c].age_days, y.available[c].age_days);
+        EXPECT_EQ(x.available[c].sunlit, y.available[c].sunlit);
+      }
+    }
+    // The derived summary must agree too.
+    EXPECT_EQ(data.report.decided, baseline.report.decided);
+    EXPECT_EQ(data.report.degraded, baseline.report.degraded);
+  }
+}
+
+ml::Dataset blob_dataset() {
+  ml::Dataset d(2, {"x", "y"}, {"a", "b", "c"});
+  std::mt19937 rng(7);
+  std::normal_distribution<double> noise(0.0, 0.8);
+  for (int i = 0; i < 60; ++i) {
+    d.add_row(std::vector<double>{noise(rng), noise(rng)}, 0);
+    d.add_row(std::vector<double>{5.0 + noise(rng), noise(rng)}, 1);
+    d.add_row(std::vector<double>{2.5 + noise(rng), 5.0 + noise(rng)}, 2);
+  }
+  return d;
+}
+
+TEST(ExecDeterminism, ForestBitIdenticalAcrossThreadCounts) {
+  const PoolGuard guard;
+  const ml::Dataset data = blob_dataset();
+  ml::ForestConfig cfg;
+  cfg.num_trees = 24;
+  cfg.seed = 99;
+  cfg.compute_oob = true;
+
+  const auto fit_and_serialize = [&](double& oob) {
+    ml::RandomForest forest(cfg);
+    forest.fit(data);
+    oob = forest.oob_accuracy();
+    std::ostringstream out;
+    forest.save(out);
+    return out.str();
+  };
+
+  exec::configure({1});
+  double oob_baseline = 0.0;
+  const std::string baseline = fit_and_serialize(oob_baseline);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const int nt : kThreadCounts) {
+    exec::configure({nt});
+    double oob = 0.0;
+    const std::string model = fit_and_serialize(oob);
+    EXPECT_EQ(model, baseline) << "threads=" << nt;  // byte-for-byte
+    EXPECT_EQ(oob, oob_baseline) << "threads=" << nt;
+  }
+}
+
+}  // namespace
+}  // namespace starlab
