@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     // Obstruction mask horizon (sampled) and GSO arc first, so satellites
     // draw over them.
     for (double az = 0.0; az < 360.0; az += 3.0) {
-      const double horizon = terminal.mask().horizon_at(az);
+      const double horizon = terminal.mask().horizon_at(geo::Deg(az)).value();
       if (horizon > 25.0) marks.push_back({az, horizon, '#'});
     }
     for (const geo::LookAngles& p : terminal.gso_arc().samples()) {

@@ -1,0 +1,54 @@
+// Fuzz target: campaign CSV parsing, lenient and strict.
+//
+// Invariants under fuzzing:
+//   - the lenient loader throws only std::runtime_error, and only for
+//     whole-file problems (empty input, header mismatch); every bad row
+//     lands in the ParseReport instead;
+//   - the strict loader throws only std::runtime_error;
+//   - every candidate observation that survives is finite (the non-finite
+//     rejection in campaign_io's to_double).
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/campaign_io.hpp"
+#include "io/parse_report.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    std::istringstream in(text);
+    starlab::io::ParseReport report;
+    const starlab::core::CampaignData campaign =
+        starlab::io::load_campaign_lenient(in, report);
+    for (const starlab::core::SlotObs& slot : campaign.slots) {
+      if (!std::isfinite(slot.unix_mid) || !std::isfinite(slot.local_hour) ||
+          !std::isfinite(slot.confidence)) {
+        std::abort();
+      }
+      for (const starlab::core::CandidateObs& c : slot.available) {
+        if (!std::isfinite(c.azimuth_deg) || !std::isfinite(c.elevation_deg) ||
+            !std::isfinite(c.age_days)) {
+          std::abort();
+        }
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Whole-file failure (empty / bad header) — permitted.
+  }
+
+  try {
+    std::istringstream in(text);
+    (void)starlab::io::load_campaign(in);
+  } catch (const std::runtime_error&) {
+    // The only permitted strict-mode failure.
+  }
+  return 0;
+}

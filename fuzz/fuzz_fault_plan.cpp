@@ -1,0 +1,45 @@
+// Fuzz target: fault-plan (key = value) parsing.
+//
+// Invariants under fuzzing:
+//   - parse_fault_plan throws only std::runtime_error (with line
+//     provenance), never anything else, never UB;
+//   - a plan that parses is round-trippable: format_fault_plan on it
+//     produces text that parses again without error;
+//   - every numeric field that survives is finite.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  bool parsed = false;
+  starlab::fault::FaultPlan plan;
+  try {
+    plan = starlab::fault::parse_fault_plan(text);
+    parsed = true;
+  } catch (const std::runtime_error&) {
+    // The only permitted failure.
+  }
+  if (!parsed) return 0;
+
+  if (!std::isfinite(plan.intensity) || !std::isfinite(plan.dropout.rate) ||
+      !std::isfinite(plan.rtt.spike_ms) ||
+      !std::isfinite(plan.clock.drift_ppm)) {
+    std::abort();
+  }
+  try {
+    (void)starlab::fault::parse_fault_plan(
+        starlab::fault::format_fault_plan(plan));
+  } catch (const std::runtime_error&) {
+    std::abort();  // a formatted plan must always re-parse
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fuzz target: TLE catalog parsing, lenient and strict.
+//
+// Invariants under fuzzing:
+//   - the lenient reader never throws: every malformed record lands in the
+//     ParseReport with line provenance;
+//   - the strict reader throws nothing but TleParseError;
+//   - every Tle that parses holds only finite element fields (the non-finite
+//     rejection in tle::to_double).
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "io/parse_report.hpp"
+#include "tle/catalog_io.hpp"
+#include "tle/tle.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  starlab::io::ParseReport report;
+  const std::vector<starlab::tle::Tle> cat =
+      starlab::tle::read_catalog_string_lenient(text, report);
+  if (report.records_ok != cat.size()) std::abort();
+  for (const starlab::tle::Tle& t : cat) {
+    if (!std::isfinite(t.inclination_deg) || !std::isfinite(t.raan_deg) ||
+        !std::isfinite(t.eccentricity) || !std::isfinite(t.arg_perigee_deg) ||
+        !std::isfinite(t.mean_anomaly_deg) ||
+        !std::isfinite(t.mean_motion_rev_per_day) ||
+        !std::isfinite(t.bstar) || !std::isfinite(t.epoch_day)) {
+      std::abort();
+    }
+  }
+
+  try {
+    (void)starlab::tle::read_catalog_string(text);
+  } catch (const starlab::tle::TleParseError&) {
+    // The only permitted strict-mode failure.
+  }
+  return 0;
+}

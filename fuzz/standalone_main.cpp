@@ -1,0 +1,67 @@
+// Corpus replay driver for toolchains without libFuzzer (gcc containers).
+//
+// Linked into each fuzz target when the compiler is not clang; gives the
+// harness a main() that feeds every argv path — files directly, directories
+// recursively — through LLVMFuzzerTestOneInput. No mutation happens here;
+// this keeps the harness code honest (it must compile and the invariants
+// must hold on the whole seed corpus) everywhere, while CI's clang build
+// does the actual coverage-guided exploration.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "standalone fuzzer: cannot open %s\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  std::size_t cases = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) {
+        failures += run_file(f);
+        ++cases;
+      }
+    } else {
+      failures += run_file(arg);
+      ++cases;
+    }
+  }
+  std::printf("standalone fuzzer: %zu corpus case(s) replayed, %d unreadable\n",
+              cases, failures);
+  return failures == 0 ? 0 : 1;
+}

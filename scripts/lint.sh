@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# starlab lint gate: clang-tidy (when available) + grep-lint rules that
+# clang-tidy cannot express. CI runs this as the `lint` job; locally it
+# degrades gracefully on toolchains without clang-tidy (gcc-only containers).
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN='double[[:space:]]+[A-Za-z_]*_(deg|rad|km)\b'
+current_counts() {
+  grep -rEc "${PATTERN}" src --include='*.hpp' --include='*.cpp' 2>/dev/null |
+    awk -F: '$2 > 0 && $1 !~ /^src\/geo\// {print $1" "$2}' | sort
+}
+
+if [ "${1:-}" = "--write-baseline" ]; then
+  current_counts > scripts/lint_baseline.txt
+  echo "lint: baseline rewritten (scripts/lint_baseline.txt)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+STATUS=0
+
+# ---------------------------------------------------------------------------
+# 1. clang-tidy over the compilation database (skipped if not installed).
+# ---------------------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "lint: generating compile_commands.json in ${BUILD_DIR}"
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "lint: clang-tidy ($(clang-tidy --version | head -n1))"
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cpp$" || STATUS=1
+  else
+    # Fallback without the parallel driver: lint every src/ TU serially.
+    while IFS= read -r tu; do
+      clang-tidy -p "${BUILD_DIR}" --quiet "${tu}" || STATUS=1
+    done < <(find src -name '*.cpp' | sort)
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping static analysis" \
+       "(grep-lint still enforced)"
+fi
+
+# ---------------------------------------------------------------------------
+# 2. grep-lint: no NEW raw angle/distance-typed double parameters or fields
+#    outside src/geo. Existing occurrences are frozen in
+#    scripts/lint_baseline.txt (per-file counts); a file may only shrink.
+#    The fix for a violation is a geo::Deg/Rad/Km parameter, not a baseline
+#    bump — bump only when deliberately keeping a serialized raw field.
+# ---------------------------------------------------------------------------
+BASELINE="scripts/lint_baseline.txt"
+
+if [ ! -f "${BASELINE}" ]; then
+  echo "lint: FAIL — missing ${BASELINE}; regenerate with:"
+  echo "  scripts/lint.sh --write-baseline"
+  exit 1
+fi
+
+GREP_FAIL=0
+while IFS=' ' read -r file count; do
+  [ -z "${file}" ] && continue
+  baseline_count=$(awk -v f="${file}" '$1 == f {print $2}' "${BASELINE}")
+  baseline_count=${baseline_count:-0}
+  if [ "${count}" -gt "${baseline_count}" ]; then
+    echo "lint: FAIL ${file}: ${count} raw 'double *_deg/_rad/_km'" \
+         "declarations (baseline ${baseline_count})."
+    echo "      Use geo::Deg / geo::Rad / geo::Km instead (src/geo/units.hpp)."
+    GREP_FAIL=1
+  fi
+done < <(current_counts)
+
+if [ "${GREP_FAIL}" -ne 0 ]; then
+  STATUS=1
+else
+  echo "lint: grep-lint clean (raw unit-suffixed doubles at or below baseline)"
+fi
+
+exit "${STATUS}"

@@ -1,0 +1,83 @@
+#pragma once
+
+// Runtime contracts for the paper's invariants.
+//
+// The inference chain (TLE -> SGP4 -> look angles -> DTW -> scheduler model)
+// is long enough that a violated assumption in one stage surfaces as a
+// subtly wrong figure three stages later. These macros state the assumptions
+// at module boundaries so they fail *where* they break:
+//
+//   STARLAB_EXPECT(cond, detail)    — precondition on inputs
+//   STARLAB_ENSURE(cond, detail)    — postcondition on outputs
+//   STARLAB_INVARIANT(cond, detail) — relation that must hold mid-flight
+//
+// `detail` is any expression convertible to std::string; it is evaluated
+// only when the condition fails, so checks cost one branch on the happy
+// path. Configure with -DSTARLAB_CHECKS=OFF to compile every check out
+// entirely (the expression is still type-checked, never evaluated) — the
+// release build is then bit-identical to one that never had them.
+//
+// What happens on a violation is a process-wide mode (default abort, or the
+// STARLAB_CHECK_MODE environment variable at first use):
+//   kAbort — message to stderr, std::abort(). A violated contract is a bug.
+//   kThrow — throw check::ContractViolation (tests assert on violations;
+//            services that prefer unwinding over dying pick this).
+//   kLog   — message to stderr, increment the `check_violations_total` obs
+//            counter (when metrics are live), and continue degraded.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace starlab::check {
+
+enum class Mode {
+  kAbort = 0,
+  kThrow,
+  kLog,
+};
+
+/// Current violation-handling mode. First call reads STARLAB_CHECK_MODE
+/// ("abort", "throw", "log"); unset or unknown keeps kAbort.
+[[nodiscard]] Mode mode();
+
+/// Override the mode (tests; long-running services choosing kLog).
+void set_mode(Mode m);
+
+/// Thrown by failing checks in kThrow mode.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Violations observed so far in kLog mode (process-wide).
+[[nodiscard]] std::uint64_t violation_count();
+
+/// Failure funnel behind the macros. Returns only in kLog mode.
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& detail);
+
+}  // namespace starlab::check
+
+#if defined(STARLAB_CHECKS) && STARLAB_CHECKS
+#define STARLAB_CHECK_IMPL_(kind, cond, detail)                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::starlab::check::fail(kind, #cond, __FILE__, __LINE__, (detail));     \
+    }                                                                        \
+  } while (false)
+#else
+// Compiled out: the condition stays type-checked (sizeof is unevaluated) so
+// an OFF build cannot rot, but nothing runs and no code is emitted.
+#define STARLAB_CHECK_IMPL_(kind, cond, detail) \
+  do {                                          \
+    if (false) {                                \
+      (void)sizeof((cond) ? 1 : 0);             \
+    }                                           \
+  } while (false)
+#endif
+
+#define STARLAB_EXPECT(cond, detail) STARLAB_CHECK_IMPL_("EXPECT", cond, detail)
+#define STARLAB_ENSURE(cond, detail) STARLAB_CHECK_IMPL_("ENSURE", cond, detail)
+#define STARLAB_INVARIANT(cond, detail) \
+  STARLAB_CHECK_IMPL_("INVARIANT", cond, detail)

@@ -95,10 +95,11 @@ std::vector<Catalog::Snapshot> Catalog::propagate_all(
   exec::default_pool().parallel_for(records_.size(), [&](std::size_t i) {
     try {
       const sgp4::StateVector st = ephemerides_[i].state_teme(jd);
+      const geo::TemeKm teme(st.position_km);
       out[i].valid = true;
-      out[i].teme_km = st.position_km;
-      out[i].ecef_km = geo::teme_to_ecef(st.position_km, jd);
-      out[i].sunlit = sun::is_sunlit(st.position_km, jd);
+      out[i].teme_km = teme;
+      out[i].ecef_km = geo::teme_to_ecef(teme, jd);
+      out[i].sunlit = sun::is_sunlit(teme, jd);
     } catch (const sgp4::Sgp4Error&) {
       out[i].valid = false;
     }
@@ -111,7 +112,7 @@ std::vector<SkyEntry> Catalog::visible_from_snapshots(
     const time::JulianDate& jd, double min_elevation_deg) const {
   std::vector<SkyEntry> out;
   const double unix_sec = jd.to_unix_seconds();
-  const geo::Vec3 obs_ecef = geo::geodetic_to_ecef(observer);
+  const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
   constexpr double kCullRangeKm = 3000.0;
 
   for (std::size_t i = 0; i < records_.size() && i < snapshots.size(); ++i) {
@@ -139,7 +140,7 @@ std::vector<SkyEntry> Catalog::visible_from(const geo::Geodetic& observer,
                                             double min_elevation_deg) const {
   std::vector<SkyEntry> out;
   const double unix_sec = jd.to_unix_seconds();
-  const geo::Vec3 obs_ecef = geo::geodetic_to_ecef(observer);
+  const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
   // Cheap pre-cull: a satellite below `min_elevation_deg` is certainly
   // farther than the horizon-limited slant range for the highest shell.
   // For a 600 km shell and 25 deg minimum elevation the slant range is
@@ -154,7 +155,8 @@ std::vector<SkyEntry> Catalog::visible_from(const geo::Geodetic& observer,
     } catch (const sgp4::Sgp4Error&) {
       continue;  // decayed satellites silently leave the sky
     }
-    const geo::Vec3 ecef = geo::teme_to_ecef(st.position_km, jd);
+    const geo::TemeKm teme(st.position_km);
+    const geo::EcefKm ecef = geo::teme_to_ecef(teme, jd);
     if ((ecef - obs_ecef).norm() > kCullRangeKm) continue;
 
     const geo::LookAngles look = geo::look_angles(observer, ecef);
@@ -164,9 +166,9 @@ std::vector<SkyEntry> Catalog::visible_from(const geo::Geodetic& observer,
     e.norad_id = records_[i].tle.norad_id;
     e.catalog_index = i;
     e.look = look;
-    e.sunlit = sun::is_sunlit(st.position_km, jd);
+    e.sunlit = sun::is_sunlit(teme, jd);
     e.age_days = records_[i].age_days(unix_sec);
-    e.position_teme_km = st.position_km;
+    e.position_teme_km = teme;
     out.push_back(e);
   }
   return out;

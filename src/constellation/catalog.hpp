@@ -25,7 +25,7 @@ struct SkyEntry {
   geo::LookAngles look;           ///< azimuth/elevation/range
   bool sunlit = true;             ///< conical model, penumbra == sunlit
   double age_days = 0.0;          ///< days since launch
-  geo::Vec3 position_teme_km;     ///< for shadow/extra geometry
+  geo::TemeKm position_teme_km;   ///< for shadow/extra geometry
 };
 
 class Catalog {
@@ -68,8 +68,8 @@ class Catalog {
   /// observers (TEME/ECEF positions are observer-independent).
   struct Snapshot {
     bool valid = false;  ///< false when the satellite decayed / SGP4 failed
-    geo::Vec3 teme_km;
-    geo::Vec3 ecef_km;
+    geo::TemeKm teme_km;
+    geo::EcefKm ecef_km;
     bool sunlit = true;
   };
 

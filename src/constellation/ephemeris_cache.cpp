@@ -110,7 +110,8 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
   Entry entry;
   try {
     entry.valid = true;
-    entry.teme_km = catalog_.ephemeris(catalog_index).state_teme(jd).position_km;
+    entry.teme_km =
+        geo::TemeKm(catalog_.ephemeris(catalog_index).state_teme(jd).position_km);
   } catch (const sgp4::Sgp4Error&) {
     entry.valid = false;
   }
@@ -129,17 +130,19 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
   return entry;
 }
 
-geo::Vec3 EphemerisCache::position_teme(std::size_t catalog_index,
-                                        const time::JulianDate& jd) const {
+geo::TemeKm EphemerisCache::position_teme(std::size_t catalog_index,
+                                          const time::JulianDate& jd) const {
   std::int64_t tick = 0;
   if (!quantize(jd.to_unix_seconds(), tick)) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);
-    return catalog_.ephemeris(catalog_index).state_teme(jd).position_km;
+    return geo::TemeKm(
+        catalog_.ephemeris(catalog_index).state_teme(jd).position_km);
   }
   const Entry entry = lookup_or_compute(catalog_index, tick, jd);
   if (!entry.valid) {
     // Reproduce the direct call's exception (decayed satellite).
-    return catalog_.ephemeris(catalog_index).state_teme(jd).position_km;
+    return geo::TemeKm(
+        catalog_.ephemeris(catalog_index).state_teme(jd).position_km);
   }
   return entry.teme_km;
 }

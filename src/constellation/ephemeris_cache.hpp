@@ -57,8 +57,8 @@ class EphemerisCache {
 
   /// TEME position of `catalog_index` at `jd`, memoized when `jd` lies on
   /// the quantum grid. Throws sgp4::Sgp4Error when propagation fails.
-  [[nodiscard]] geo::Vec3 position_teme(std::size_t catalog_index,
-                                        const time::JulianDate& jd) const;
+  [[nodiscard]] geo::TemeKm position_teme(std::size_t catalog_index,
+                                          const time::JulianDate& jd) const;
 
   [[nodiscard]] const Catalog& catalog() const { return catalog_; }
   [[nodiscard]] Stats stats() const;
@@ -70,7 +70,7 @@ class EphemerisCache {
  private:
   struct Entry {
     bool valid = false;  ///< false: propagation threw; rethrow on use
-    geo::Vec3 teme_km;
+    geo::TemeKm teme_km;
   };
 
   static constexpr std::size_t kNumShards = 16;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "check/contracts.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injectors.hpp"
@@ -180,6 +181,15 @@ CampaignData run_campaign(const Scenario& scenario,
   for (std::vector<SlotObs>& rows : per_slot) {
     for (SlotObs& row : rows) data.slots.push_back(std::move(row));
   }
+  // Campaign time must advance: the flattened observations are in slot order,
+  // so their mid-slot instants are non-decreasing. A violation means the
+  // parallel chunks were reassembled out of order.
+  STARLAB_INVARIANT(
+      std::is_sorted(data.slots.begin(), data.slots.end(),
+                     [](const SlotObs& a, const SlotObs& b) {
+                       return a.unix_mid < b.unix_mid;
+                     }),
+      "campaign slot observations are not in time order");
 
   // Run summary: slot counts, per-flag counts, the plan in force. Computed
   // once here so consumers never re-scan the slot vector.

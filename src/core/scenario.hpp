@@ -44,7 +44,7 @@ class Scenario {
  public:
   /// The paper's setup: four vantage points, full Gen1-scale constellation.
   /// `constellation_scale` < 1 thins the catalog for fast tests.
-  static ScenarioConfig default_config(double constellation_scale = 1.0);
+  [[nodiscard]] static ScenarioConfig default_config(double constellation_scale = 1.0);
 
   explicit Scenario(ScenarioConfig config);
 

@@ -1,5 +1,6 @@
 #include "fault/fault_plan.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <sstream>
@@ -113,7 +114,13 @@ FaultPlan parse_fault_plan(const std::string& text) {
       bool matched = false;
       for (const Field& f : schema()) {
         if (key == f.key) {
-          f.ref(plan) = std::stod(value);
+          const double v = std::stod(value);
+          if (!std::isfinite(v)) {
+            throw std::runtime_error("fault plan line " +
+                                     std::to_string(lineno) +
+                                     ": non-finite value for '" + key + "'");
+          }
+          f.ref(plan) = v;
           matched = true;
           break;
         }

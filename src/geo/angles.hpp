@@ -27,6 +27,9 @@ inline constexpr double kRadPerDeg = std::numbers::pi / 180.0;
 [[nodiscard]] inline double wrap_360(double deg) {
   double w = std::fmod(deg, 360.0);
   if (w < 0.0) w += 360.0;
+  // A negative epsilon rounds to exactly 360.0 in the addition above; the
+  // half-open interval makes that the same direction as 0.
+  if (w >= 360.0) w = 0.0;
   return w;
 }
 

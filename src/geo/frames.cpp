@@ -12,14 +12,16 @@ Vec3 rotate_z(const Vec3& v, double angle_rad) {
   return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
 }
 
-Vec3 teme_to_ecef(const Vec3& teme_km, const starlab::time::JulianDate& jd_utc) {
+EcefKm teme_to_ecef(const TemeKm& teme_km,
+                    const starlab::time::JulianDate& jd_utc) {
   // ECEF = Rz(-gmst) * TEME: the Earth-fixed frame rotates eastward by gmst
   // relative to the inertial frame.
-  return rotate_z(teme_km, -starlab::time::gmst_radians(jd_utc));
+  return EcefKm(rotate_z(teme_km.raw(), -starlab::time::gmst_radians(jd_utc)));
 }
 
-Vec3 ecef_to_teme(const Vec3& ecef_km, const starlab::time::JulianDate& jd_utc) {
-  return rotate_z(ecef_km, starlab::time::gmst_radians(jd_utc));
+TemeKm ecef_to_teme(const EcefKm& ecef_km,
+                    const starlab::time::JulianDate& jd_utc) {
+  return TemeKm(rotate_z(ecef_km.raw(), starlab::time::gmst_radians(jd_utc)));
 }
 
 }  // namespace starlab::geo

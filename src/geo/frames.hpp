@@ -5,18 +5,22 @@
 // related by a rotation about the pole through GMST. Polar motion (< 15 m) is
 // neglected — three orders of magnitude below obstruction-map pixel size.
 
+#include "geo/frame_vec.hpp"
 #include "geo/vec3.hpp"
 #include "time/julian_date.hpp"
 
 namespace starlab::geo {
 
-/// TEME position [km] -> ECEF position [km] at the given UTC instant.
-[[nodiscard]] Vec3 teme_to_ecef(const Vec3& teme_km,
-                                const starlab::time::JulianDate& jd_utc);
+/// TEME position [km] -> ECEF position [km] at the given UTC instant. The
+/// tagged signatures are the *only* bridge between the two frames: an ECEF
+/// vector cannot reach a TEME consumer (or vice versa) without coming
+/// through here, which forces the rotation epoch to be stated.
+[[nodiscard]] EcefKm teme_to_ecef(const TemeKm& teme_km,
+                                  const starlab::time::JulianDate& jd_utc);
 
 /// ECEF position [km] -> TEME position [km] at the given UTC instant.
-[[nodiscard]] Vec3 ecef_to_teme(const Vec3& ecef_km,
-                                const starlab::time::JulianDate& jd_utc);
+[[nodiscard]] TemeKm ecef_to_teme(const EcefKm& ecef_km,
+                                  const starlab::time::JulianDate& jd_utc);
 
 /// Rotate a vector about the z axis by `angle_rad` (right-handed).
 [[nodiscard]] Vec3 rotate_z(const Vec3& v, double angle_rad);

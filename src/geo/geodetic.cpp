@@ -13,7 +13,7 @@ constexpr double kF = kWgs84.flattening;
 constexpr double kE2 = kF * (2.0 - kF);  // first eccentricity squared
 }  // namespace
 
-Vec3 geodetic_to_ecef(const Geodetic& g) {
+EcefKm geodetic_to_ecef(const Geodetic& g) {
   const double lat = deg_to_rad(g.latitude_deg);
   const double lon = deg_to_rad(g.longitude_deg);
   const double sin_lat = std::sin(lat);
@@ -27,7 +27,8 @@ Vec3 geodetic_to_ecef(const Geodetic& g) {
           (n * (1.0 - kE2) + g.height_km) * sin_lat};
 }
 
-Geodetic ecef_to_geodetic(const Vec3& p) {
+Geodetic ecef_to_geodetic(const EcefKm& ecef_km) {
+  const Vec3& p = ecef_km.raw();
   const double lon = std::atan2(p.y, p.x);
   const double r_xy = std::hypot(p.x, p.y);
 

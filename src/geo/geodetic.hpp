@@ -3,6 +3,7 @@
 // Geodetic (latitude/longitude/height) coordinates on the WGS-84 ellipsoid
 // and conversion to/from Earth-centred Earth-fixed (ECEF) Cartesian.
 
+#include "geo/frame_vec.hpp"
 #include "geo/vec3.hpp"
 
 namespace starlab::geo {
@@ -15,10 +16,10 @@ struct Geodetic {
 };
 
 /// Geodetic -> ECEF [km].
-[[nodiscard]] Vec3 geodetic_to_ecef(const Geodetic& g);
+[[nodiscard]] EcefKm geodetic_to_ecef(const Geodetic& g);
 
 /// ECEF [km] -> geodetic. Iterative (Bowring-style); converges to < 1e-9 rad
 /// in a handful of iterations for any LEO/GSO altitude.
-[[nodiscard]] Geodetic ecef_to_geodetic(const Vec3& ecef_km);
+[[nodiscard]] Geodetic ecef_to_geodetic(const EcefKm& ecef_km);
 
 }  // namespace starlab::geo

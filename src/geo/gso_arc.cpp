@@ -14,8 +14,8 @@ GsoArc::GsoArc(const Geodetic& site, double step_deg,
   // kGsoRadiusKm; in ECEF it is fixed, so the arc can be sampled once.
   for (double lon = -180.0; lon < 180.0; lon += step_deg) {
     const double lon_rad = deg_to_rad(lon);
-    const Vec3 gso_ecef{kGsoRadiusKm * std::cos(lon_rad),
-                        kGsoRadiusKm * std::sin(lon_rad), 0.0};
+    const EcefKm gso_ecef{kGsoRadiusKm * std::cos(lon_rad),
+                          kGsoRadiusKm * std::sin(lon_rad), 0.0};
     const LookAngles la = look_angles(site, gso_ecef);
     if (la.elevation_deg >= min_elevation_deg) {
       samples_.push_back(la);

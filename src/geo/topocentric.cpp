@@ -1,7 +1,9 @@
 #include "geo/topocentric.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "check/contracts.hpp"
 #include "geo/angles.hpp"
 
 namespace starlab::geo {
@@ -35,9 +37,9 @@ Vec3 sez_to_ecef(const Geodetic& obs, const Vec3& s) {
 
 }  // namespace
 
-LookAngles look_angles(const Geodetic& observer, const Vec3& target_ecef_km) {
-  const Vec3 obs_ecef = geodetic_to_ecef(observer);
-  const Vec3 sez = ecef_to_sez(observer, target_ecef_km - obs_ecef);
+LookAngles look_angles(const Geodetic& observer, const EcefKm& target_ecef_km) {
+  const EcefKm obs_ecef = geodetic_to_ecef(observer);
+  const Vec3 sez = ecef_to_sez(observer, (target_ecef_km - obs_ecef).raw());
 
   LookAngles out;
   out.range_km = sez.norm();
@@ -46,17 +48,23 @@ LookAngles look_angles(const Geodetic& observer, const Vec3& target_ecef_km) {
   out.elevation_deg = rad_to_deg(std::asin(sez.z / out.range_km));
   // Azimuth measured clockwise from north: north == -S axis, east == +E axis.
   out.azimuth_deg = wrap_360(rad_to_deg(std::atan2(sez.y, -sez.x)));
+
+  STARLAB_ENSURE(out.elevation_deg >= -90.0 && out.elevation_deg <= 90.0,
+                 "elevation out of [-90, 90]: " +
+                     std::to_string(out.elevation_deg));
+  STARLAB_ENSURE(out.azimuth_deg >= 0.0 && out.azimuth_deg < 360.0,
+                 "azimuth out of [0, 360): " + std::to_string(out.azimuth_deg));
   return out;
 }
 
-Vec3 direction_from_look(const Geodetic& observer, double azimuth_deg,
-                         double elevation_deg) {
-  const double az = deg_to_rad(azimuth_deg);
-  const double el = deg_to_rad(elevation_deg);
+EcefKm direction_from_look(const Geodetic& observer, Deg azimuth,
+                           Deg elevation) {
+  const double az = to_rad(azimuth).value();
+  const double el = to_rad(elevation).value();
   // SEZ components of a unit vector at (az, el).
   const Vec3 sez{-std::cos(el) * std::cos(az), std::cos(el) * std::sin(az),
                  std::sin(el)};
-  return sez_to_ecef(observer, sez);
+  return EcefKm(sez_to_ecef(observer, sez));
 }
 
 double sky_separation_deg(double az1_deg, double el1_deg, double az2_deg,

@@ -4,26 +4,36 @@
 // This is the geometry that obstruction maps, the field-of-view query and
 // the scheduler-preference analyses (§5) are all expressed in.
 
+#include "geo/frame_vec.hpp"
 #include "geo/geodetic.hpp"
+#include "geo/units.hpp"
 #include "geo/vec3.hpp"
 
 namespace starlab::geo {
 
-/// A direction + distance in an observer's local sky.
+/// A direction + distance in an observer's local sky. The raw `*_deg`/`*_km`
+/// fields are kept for plain-data serialization; unit-safe consumers go
+/// through the typed accessors.
 struct LookAngles {
   double azimuth_deg = 0.0;    ///< clockwise from true north, [0, 360)
   double elevation_deg = 0.0;  ///< above the local horizon, [-90, 90]
   double range_km = 0.0;       ///< slant range observer -> target
+
+  [[nodiscard]] constexpr Deg azimuth() const { return Deg(azimuth_deg); }
+  [[nodiscard]] constexpr Deg elevation() const { return Deg(elevation_deg); }
+  [[nodiscard]] constexpr Km range() const { return Km(range_km); }
 };
 
-/// Look angles from `observer` (geodetic) to `target_ecef` [km].
+/// Look angles from `observer` (geodetic) to `target_ecef` [km]. The target
+/// must already be Earth-fixed; a TEME position has to come through
+/// geo::teme_to_ecef first (enforced at compile time).
 [[nodiscard]] LookAngles look_angles(const Geodetic& observer,
-                                     const Vec3& target_ecef_km);
+                                     const EcefKm& target_ecef_km);
 
 /// Inverse-ish helper: the ECEF unit direction corresponding to (az, el) in
 /// the observer's sky. Used to project obstruction-map pixels back into 3-d.
-[[nodiscard]] Vec3 direction_from_look(const Geodetic& observer,
-                                       double azimuth_deg, double elevation_deg);
+[[nodiscard]] EcefKm direction_from_look(const Geodetic& observer, Deg azimuth,
+                                         Deg elevation);
 
 /// Angular separation [deg] between two sky directions (az/el pairs), treated
 /// as points on the observer's celestial sphere.

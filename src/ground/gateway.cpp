@@ -49,7 +49,7 @@ GatewayNetwork GatewayNetwork::sparse_network() {
   });
 }
 
-bool GatewayNetwork::has_gateway(const geo::Vec3& sat_ecef_km) const {
+bool GatewayNetwork::has_gateway(const geo::EcefKm& sat_ecef_km) const {
   for (const Gateway& g : gateways_) {
     if (geo::look_angles(g.site, sat_ecef_km).elevation_deg >=
         min_elevation_deg_) {
@@ -59,7 +59,7 @@ bool GatewayNetwork::has_gateway(const geo::Vec3& sat_ecef_km) const {
   return false;
 }
 
-int GatewayNetwork::visible_gateways(const geo::Vec3& sat_ecef_km) const {
+int GatewayNetwork::visible_gateways(const geo::EcefKm& sat_ecef_km) const {
   int n = 0;
   for (const Gateway& g : gateways_) {
     if (geo::look_angles(g.site, sat_ecef_km).elevation_deg >=

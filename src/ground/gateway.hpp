@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "geo/frame_vec.hpp"
 #include "geo/geodetic.hpp"
 #include "geo/vec3.hpp"
 #include "time/julian_date.hpp"
@@ -33,17 +34,17 @@ class GatewayNetwork {
 
   /// A realistic 2023-era subset: ~20 gateways across CONUS and Western
   /// Europe (the regions serving the paper's terminals).
-  static GatewayNetwork paper_region_network();
+  [[nodiscard]] static GatewayNetwork paper_region_network();
 
   /// A deliberately sparse network (a handful of sites) for ablations.
-  static GatewayNetwork sparse_network();
+  [[nodiscard]] static GatewayNetwork sparse_network();
 
   /// True if the satellite at `sat_ecef_km` is above the elevation floor of
   /// at least one gateway.
-  [[nodiscard]] bool has_gateway(const geo::Vec3& sat_ecef_km) const;
+  [[nodiscard]] bool has_gateway(const geo::EcefKm& sat_ecef_km) const;
 
   /// Number of gateways that currently see the satellite.
-  [[nodiscard]] int visible_gateways(const geo::Vec3& sat_ecef_km) const;
+  [[nodiscard]] int visible_gateways(const geo::EcefKm& sat_ecef_km) const;
 
   [[nodiscard]] const std::vector<Gateway>& gateways() const {
     return gateways_;
@@ -52,7 +53,7 @@ class GatewayNetwork {
 
  private:
   std::vector<Gateway> gateways_;
-  std::vector<geo::Vec3> gateway_ecef_;
+  std::vector<geo::EcefKm> gateway_ecef_;
   double min_elevation_deg_;
 };
 

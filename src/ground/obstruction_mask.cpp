@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "check/contracts.hpp"
 #include "geo/angles.hpp"
 
 namespace starlab::ground {
@@ -18,26 +20,31 @@ std::size_t sector_of(double azimuth_deg) {
 }
 }  // namespace
 
-void ObstructionMask::add_obstruction(double from_deg, double to_deg,
-                                      double min_elevation_deg) {
-  double from = geo::wrap_360(from_deg);
-  double to = geo::wrap_360(to_deg);
-  double span = to - from;
+void ObstructionMask::add_obstruction(geo::Deg from, geo::Deg to,
+                                      geo::Deg min_elevation) {
+  STARLAB_EXPECT(
+      min_elevation.value() >= -90.0 && min_elevation.value() <= 90.0,
+      "obstruction horizon out of [-90, 90]: " +
+          std::to_string(min_elevation.value()));
+  const double from_deg = geo::wrap_360(from.value());
+  const double to_deg = geo::wrap_360(to.value());
+  double span = to_deg - from_deg;
   if (span <= 0.0) span += 360.0;
 
-  for (double az = from; az < from + span; az += kSectorWidth) {
+  for (double az = from_deg; az < from_deg + span; az += kSectorWidth) {
     auto& h = horizon_[sector_of(az)];
-    h = std::max(h, min_elevation_deg);
+    h = std::max(h, min_elevation.value());
   }
 }
 
-double ObstructionMask::horizon_at(double azimuth_deg) const {
-  return horizon_[sector_of(azimuth_deg)];
+geo::Deg ObstructionMask::horizon_at(geo::Deg azimuth) const {
+  return geo::Deg(horizon_[sector_of(azimuth.value())]);
 }
 
-double ObstructionMask::obstructed_fraction(double floor_deg) const {
+double ObstructionMask::obstructed_fraction(geo::Deg floor) const {
   // Solid angle of a band above elevation e (up to 90 deg) per unit azimuth
   // is proportional to (1 - sin e); integrate per sector.
+  const double floor_deg = floor.value();
   const double sin_floor = std::sin(geo::deg_to_rad(floor_deg));
   double blocked = 0.0;
   double total = 0.0;

@@ -11,6 +11,8 @@
 #include <array>
 #include <cstddef>
 
+#include "geo/units.hpp"
+
 namespace starlab::ground {
 
 class ObstructionMask {
@@ -20,21 +22,21 @@ class ObstructionMask {
   /// A clear sky: horizon at 0 deg everywhere.
   ObstructionMask() { horizon_.fill(0.0); }
 
-  /// Raise the horizon to `min_elevation_deg` over the azimuth range
-  /// [from_deg, to_deg) (wrapping through north allowed, e.g. 300 -> 30).
-  void add_obstruction(double from_deg, double to_deg, double min_elevation_deg);
+  /// Raise the horizon to `min_elevation` over the azimuth range
+  /// [from, to) (wrapping through north allowed, e.g. 300 -> 30).
+  void add_obstruction(geo::Deg from, geo::Deg to, geo::Deg min_elevation);
 
   /// True if a satellite at (az, el) is hidden behind an obstruction.
-  [[nodiscard]] bool blocked(double azimuth_deg, double elevation_deg) const {
-    return elevation_deg < horizon_at(azimuth_deg);
+  [[nodiscard]] bool blocked(geo::Deg azimuth, geo::Deg elevation) const {
+    return elevation < horizon_at(azimuth);
   }
 
   /// Horizon elevation at an azimuth.
-  [[nodiscard]] double horizon_at(double azimuth_deg) const;
+  [[nodiscard]] geo::Deg horizon_at(geo::Deg azimuth) const;
 
-  /// Fraction of the sky dome (solid-angle weighted, above `floor_deg`)
+  /// Fraction of the sky dome (solid-angle weighted, above `floor`)
   /// that is obstructed. Used to sanity-check site quality in tests.
-  [[nodiscard]] double obstructed_fraction(double floor_deg = 25.0) const;
+  [[nodiscard]] double obstructed_fraction(geo::Deg floor = geo::Deg(25.0)) const;
 
  private:
   std::array<double, kSectors> horizon_{};

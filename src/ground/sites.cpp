@@ -28,8 +28,8 @@ TerminalConfig paper_terminal_config(Site site) {
       // cover to its north-west (§5.1): the horizon there rises to ~55 deg.
       cfg.site = {42.444, -76.500, 0.25};
       cfg.pop_site = {40.713, -74.006, 0.01};
-      cfg.mask.add_obstruction(270.0, 360.0, 70.0);
-      cfg.mask.add_obstruction(240.0, 270.0, 45.0);
+      cfg.mask.add_obstruction(geo::Deg(270.0), geo::Deg(360.0), geo::Deg(70.0));
+      cfg.mask.add_obstruction(geo::Deg(240.0), geo::Deg(270.0), geo::Deg(45.0));
       break;
     case Site::kMadrid:
       // Madrid; served via the Madrid PoP.

@@ -12,7 +12,7 @@ std::vector<Candidate> Terminal::candidates(
   for (constellation::SkyEntry& e :
        catalog.visible_from(config_.site, jd, config_.min_elevation_deg)) {
     Candidate c;
-    c.obstructed = config_.mask.blocked(e.look.azimuth_deg, e.look.elevation_deg);
+    c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
                                         config_.gso_protection_deg);
     c.sky = std::move(e);
@@ -29,7 +29,7 @@ std::vector<Candidate> Terminal::candidates_from_snapshots(
   for (constellation::SkyEntry& e : catalog.visible_from_snapshots(
            snapshots, config_.site, jd, config_.min_elevation_deg)) {
     Candidate c;
-    c.obstructed = config_.mask.blocked(e.look.azimuth_deg, e.look.elevation_deg);
+    c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
                                         config_.gso_protection_deg);
     c.sky = std::move(e);

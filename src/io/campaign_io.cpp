@@ -1,5 +1,6 @@
 #include "io/campaign_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -20,12 +21,18 @@ std::string fmt(double v, const char* spec = "%.6f") {
 }
 
 double to_double(const std::string& s, std::size_t row, const char* column) {
+  double v = 0.0;
   try {
-    return std::stod(s);
+    v = std::stod(s);
   } catch (const std::exception&) {
     throw std::runtime_error("campaign CSV row " + std::to_string(row) +
                              ": bad " + column + " value '" + s + "'");
   }
+  if (!std::isfinite(v)) {
+    throw std::runtime_error("campaign CSV row " + std::to_string(row) +
+                             ": non-finite " + column + " value '" + s + "'");
+  }
+  return v;
 }
 
 int to_int(const std::string& s, std::size_t row, const char* column) {

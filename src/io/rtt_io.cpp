@@ -1,5 +1,6 @@
 #include "io/rtt_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -36,6 +37,9 @@ measurement::RttSeries load_rtt_series(std::istream& in) {
   measurement::RttSeries series;
   series.terminal = rows[0].size() > 1 ? rows[0][1] : "";
   series.interval_ms = rows[0].size() > 2 ? std::stod(rows[0][2]) : 20.0;
+  if (!std::isfinite(series.interval_ms)) {
+    throw std::runtime_error("RTT CSV metadata row: non-finite interval_ms");
+  }
 
   for (std::size_t r = 2; r < rows.size(); ++r) {
     const CsvRow& row = rows[r];
@@ -52,6 +56,10 @@ measurement::RttSeries load_rtt_series(std::istream& in) {
     } catch (const std::exception&) {
       throw std::runtime_error("RTT CSV row " + std::to_string(r + 1) +
                                ": unparsable numeric field");
+    }
+    if (!std::isfinite(s.unix_sec) || !std::isfinite(s.rtt_ms)) {
+      throw std::runtime_error("RTT CSV row " + std::to_string(r + 1) +
+                               ": non-finite numeric field");
     }
     series.samples.push_back(s);
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "check/contracts.hpp"
+
 namespace starlab::match {
 
 namespace {
@@ -52,6 +54,9 @@ double dtw_distance(std::span<const Point2> a, std::span<const Point2> b,
     }
     std::swap(prev, curr);
   }
+  // The warping path only accumulates non-negative local costs, so a
+  // feasible alignment can never report a negative distance.
+  STARLAB_ENSURE(prev[m] >= 0.0, "negative DTW distance");
   return prev[m];
 }
 

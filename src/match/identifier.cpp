@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
+#include "check/contracts.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -67,8 +69,8 @@ std::vector<Point2> SatelliteIdentifier::candidate_path(
             ? ephemeris_cache_->look_from(catalog_index, terminal.site(), jd)
             : catalog_.look_at(catalog_index, terminal.site(), jd);
     if (look.elevation_deg < geometry_.min_elevation_deg) continue;
-    path.push_back(
-        sky_to_plane({look.azimuth_deg, look.elevation_deg}, geometry_));
+    path.push_back(sky_to_plane(
+        obsmap::SkyPoint::from(look.azimuth(), look.elevation()), geometry_));
   }
   return path;
 }
@@ -169,6 +171,9 @@ Identification SatelliteIdentifier::identify_isolated(
             [](const MatchScore& a, const MatchScore& b) {
               return a.dtw < b.dtw;
             });
+  STARLAB_INVARIANT(
+      out.ranked.empty() || out.ranked.front().dtw >= 0.0,
+      "DTW distances must be non-negative after ranking");
   if (out.ranked.empty() || out.ranked.front().dtw >= 1e300) return out;
 
   const double d_best = out.ranked.front().dtw;
@@ -181,6 +186,9 @@ Identification SatelliteIdentifier::identify_isolated(
                          ? std::max(0.0, 1.0 - d_best / config_.abstain_max_dtw)
                          : 1.0;
   out.confidence = margin * fit;
+  STARLAB_ENSURE(out.confidence >= 0.0 && out.confidence <= 1.0,
+                 "identifier confidence out of [0, 1]: " +
+                     std::to_string(out.confidence));
 
   if (config_.abstain_max_dtw > 0.0 && d_best > config_.abstain_max_dtw) {
     out.abstain = AbstainReason::kHighDistance;

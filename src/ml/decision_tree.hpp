@@ -55,7 +55,7 @@ class DecisionTree {
 
   /// Deserialize a tree written by save(). Throws std::runtime_error on a
   /// malformed stream.
-  static DecisionTree load(std::istream& in);
+  [[nodiscard]] static DecisionTree load(std::istream& in);
 
  private:
   struct Node {

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <mutex>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace starlab::ml {
@@ -87,6 +89,13 @@ void RandomForest::fit(const Dataset& data) {
       });
 
   if (config_.compute_oob) {
+    // Every tree casts at most one vote per row, so the tally can never
+    // exceed rows x trees; more would mean the merge double-counted.
+    STARLAB_INVARIANT(
+        std::accumulate(oob_votes.begin(), oob_votes.end(), std::int64_t{0}) <=
+            static_cast<std::int64_t>(data.size()) *
+                static_cast<std::int64_t>(trees_.size()),
+        "out-of-bag vote total exceeds rows x trees");
     std::size_t voted = 0, correct = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {
       const auto* row_votes =
@@ -114,6 +123,9 @@ std::vector<double> RandomForest::predict_proba(
   }
   if (!trees_.empty()) {
     for (double& v : acc) v /= static_cast<double>(trees_.size());
+    STARLAB_ENSURE(
+        std::abs(std::accumulate(acc.begin(), acc.end(), 0.0) - 1.0) < 1e-6,
+        "forest class probabilities do not sum to 1");
   }
   return acc;
 }

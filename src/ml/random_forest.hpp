@@ -64,7 +64,7 @@ class RandomForest {
 
   /// Deserialize a forest written by save(). Throws std::runtime_error on a
   /// malformed stream.
-  static RandomForest load(std::istream& in);
+  [[nodiscard]] static RandomForest load(std::istream& in);
 
  private:
   ForestConfig config_;

@@ -136,14 +136,14 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// The process-wide registry every starlab instrumentation site uses.
-  static MetricsRegistry& instance();
+  [[nodiscard]] static MetricsRegistry& instance();
 
   /// Find-or-create by name (idempotent; help is kept from the first call).
-  Counter counter(const std::string& name, const std::string& help = {});
-  Gauge gauge(const std::string& name, const std::string& help = {});
+  [[nodiscard]] Counter counter(const std::string& name, const std::string& help = {});
+  [[nodiscard]] Gauge gauge(const std::string& name, const std::string& help = {});
   /// `upper_bounds` must be ascending; re-registering an existing name
   /// returns the existing histogram (its original bounds win).
-  Histogram histogram(const std::string& name,
+  [[nodiscard]] Histogram histogram(const std::string& name,
                       std::vector<double> upper_bounds,
                       const std::string& help = {});
 

@@ -33,7 +33,7 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// The process-wide recorder every ObsSpan reports to.
-  static TraceRecorder& instance();
+  [[nodiscard]] static TraceRecorder& instance();
 
   void clear();
   [[nodiscard]] std::size_t size() const;

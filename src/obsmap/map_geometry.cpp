@@ -1,12 +1,18 @@
 #include "obsmap/map_geometry.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "check/contracts.hpp"
 #include "geo/angles.hpp"
 
 namespace starlab::obsmap {
 
 std::optional<Pixel> MapGeometry::pixel_of(const SkyPoint& p) const {
+  STARLAB_EXPECT(radius_px > 0.0 && max_elevation_deg > min_elevation_deg,
+                 "degenerate map geometry: radius " + std::to_string(radius_px) +
+                     ", elevation span [" + std::to_string(min_elevation_deg) +
+                     ", " + std::to_string(max_elevation_deg) + "]");
   if (p.elevation_deg < min_elevation_deg ||
       p.elevation_deg > max_elevation_deg) {
     return std::nullopt;

@@ -8,6 +8,8 @@
 
 #include <optional>
 
+#include "geo/units.hpp"
+
 namespace starlab::obsmap {
 
 /// A pixel coordinate (x == column, y == row; row 0 is the top of the image,
@@ -19,10 +21,22 @@ struct Pixel {
   bool operator==(const Pixel&) const = default;
 };
 
-/// A sky direction in the map's terms.
+/// A sky direction in the map's terms. Raw fields stay for plain-data use;
+/// unit-safe callers construct via the typed factory and read the accessors.
 struct SkyPoint {
   double azimuth_deg = 0.0;
   double elevation_deg = 0.0;
+
+  [[nodiscard]] static constexpr SkyPoint from(geo::Deg azimuth,
+                                               geo::Deg elevation) {
+    return SkyPoint{azimuth.value(), elevation.value()};
+  }
+  [[nodiscard]] constexpr geo::Deg azimuth() const {
+    return geo::Deg(azimuth_deg);
+  }
+  [[nodiscard]] constexpr geo::Deg elevation() const {
+    return geo::Deg(elevation_deg);
+  }
 };
 
 struct MapGeometry {
@@ -34,6 +48,12 @@ struct MapGeometry {
 
   /// Pixel for a sky direction; nullopt when the elevation is below the rim.
   [[nodiscard]] std::optional<Pixel> pixel_of(const SkyPoint& p) const;
+
+  /// Unit-safe overload.
+  [[nodiscard]] std::optional<Pixel> pixel_of(geo::Deg azimuth,
+                                              geo::Deg elevation) const {
+    return pixel_of(SkyPoint::from(azimuth, elevation));
+  }
 
   /// Sky direction of a pixel centre; nullopt when the pixel lies outside
   /// the polar plot.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "check/contracts.hpp"
+
 namespace starlab::obsmap {
 
 std::uint64_t ObstructionMap::word(std::size_t i) const {
@@ -33,6 +35,10 @@ std::vector<Pixel> ObstructionMap::set_pixels() const {
 }
 
 ObstructionMap ObstructionMap::exclusive_or(const ObstructionMap& other) const {
+  // Frames being combined must agree on their pixel-storage geometry; a
+  // mismatch means one of them was deserialized from a foreign dump.
+  STARLAB_EXPECT(bits_.size() == other.bits_.size(),
+                 "obstruction-map frame dimensions differ");
   ObstructionMap out;
   for (std::size_t i = 0; i < bits_.size(); ++i) {
     out.bits_[i] = bits_[i] ^ other.bits_[i];
@@ -41,6 +47,8 @@ ObstructionMap ObstructionMap::exclusive_or(const ObstructionMap& other) const {
 }
 
 void ObstructionMap::merge(const ObstructionMap& other) {
+  STARLAB_EXPECT(bits_.size() == other.bits_.size(),
+                 "obstruction-map frame dimensions differ");
   for (std::size_t i = 0; i < bits_.size(); ++i) {
     bits_[i] = bits_[i] | other.bits_[i];
   }

@@ -44,7 +44,7 @@ void TrajectoryPainter::paint(const constellation::Catalog& catalog,
             ? ephemeris_cache_->look_from(catalog_index, terminal.site(), jd)
             : catalog.look_at(catalog_index, terminal.site(), jd);
     const std::optional<Pixel> px =
-        geometry_.pixel_of({look.azimuth_deg, look.elevation_deg});
+        geometry_.pixel_of(look.azimuth(), look.elevation());
     if (px.has_value()) {
       if (prev.has_value()) {
         draw_line(frame, *prev, *px);

@@ -97,7 +97,7 @@ std::optional<Allocation> GlobalScheduler::allocate_from(
         time::JulianDate::from_unix_seconds(grid_.slot_mid(slot));
     for (std::size_t i = 0; i < all.size(); ++i) {
       if (!all[i].usable()) continue;
-      const geo::Vec3 ecef =
+      const geo::EcefKm ecef =
           geo::teme_to_ecef(all[i].sky.position_teme_km, jd);
       has_gateway[i] = gateways_->has_gateway(ecef);
     }

@@ -4,8 +4,8 @@
 
 namespace starlab::sgp4 {
 
-geo::Vec3 Ephemeris::position_ecef(const time::JulianDate& jd) const {
-  return geo::teme_to_ecef(state_teme(jd).position_km, jd);
+geo::EcefKm Ephemeris::position_ecef(const time::JulianDate& jd) const {
+  return geo::teme_to_ecef(geo::TemeKm(state_teme(jd).position_km), jd);
 }
 
 geo::Geodetic Ephemeris::subpoint(const time::JulianDate& jd) const {

@@ -4,6 +4,7 @@
 // geometry. Higher layers (field-of-view queries, obstruction-map painting,
 // the scheduler oracle) only ever talk to this interface.
 
+#include "geo/frame_vec.hpp"
 #include "geo/geodetic.hpp"
 #include "geo/topocentric.hpp"
 #include "geo/vec3.hpp"
@@ -22,7 +23,7 @@ class Ephemeris {
   }
 
   /// Earth-fixed position [km] at a UTC instant.
-  [[nodiscard]] geo::Vec3 position_ecef(const time::JulianDate& jd) const;
+  [[nodiscard]] geo::EcefKm position_ecef(const time::JulianDate& jd) const;
 
   /// Geodetic sub-satellite point (and altitude) at a UTC instant.
   [[nodiscard]] geo::Geodetic subpoint(const time::JulianDate& jd) const;

@@ -7,19 +7,19 @@
 
 namespace starlab::sun {
 
-bool is_sunlit_cylindrical(const geo::Vec3& sat, const time::JulianDate& jd) {
-  const geo::Vec3 s_hat = sun_direction_teme(jd);
+bool is_sunlit_cylindrical(const geo::TemeKm& sat, const time::JulianDate& jd) {
+  const geo::TemeKm s_hat = sun_direction_teme(jd);
   const double along = sat.dot(s_hat);
   if (along > 0.0) return true;  // on the sun side of the Earth
-  const geo::Vec3 perp = sat - s_hat * along;
+  const geo::TemeKm perp = sat - s_hat * along;
   return perp.norm() > geo::kWgs84.radius_km;
 }
 
-Illumination classify_illumination(const geo::Vec3& sat,
+Illumination classify_illumination(const geo::TemeKm& sat,
                                    const time::JulianDate& jd) {
-  const geo::Vec3 sun = sun_position_teme(jd);
-  const geo::Vec3 sat_to_sun = sun - sat;
-  const geo::Vec3 sat_to_earth = -sat;
+  const geo::TemeKm sun = sun_position_teme(jd);
+  const geo::TemeKm sat_to_sun = sun - sat;
+  const geo::TemeKm sat_to_earth = -sat;
 
   const double dist_sun = sat_to_sun.norm();
   const double dist_earth = sat_to_earth.norm();
@@ -30,7 +30,7 @@ Illumination classify_illumination(const geo::Vec3& sat,
       std::asin(std::min(1.0, geo::kWgs84.radius_km / dist_earth));
 
   // Angular separation between the Sun's and the Earth's centres.
-  const double sep = sat_to_sun.angle_to(sat_to_earth);
+  const double sep = sat_to_sun.angle_to(sat_to_earth).value();
 
   if (sep >= ang_sun + ang_earth) return Illumination::kSunlit;
   if (sep <= ang_earth - ang_sun) return Illumination::kUmbra;

@@ -8,6 +8,7 @@
 // (a Starlink satellite in penumbra still harvests some power, so the
 // scheduler oracle treats only umbra as dark).
 
+#include "geo/frame_vec.hpp"
 #include "geo/vec3.hpp"
 #include "time/julian_date.hpp"
 
@@ -21,16 +22,16 @@ enum class Illumination {
 
 /// Cylindrical shadow test: the satellite is dark iff it is on the anti-sun
 /// side and within one Earth radius of the shadow axis.
-[[nodiscard]] bool is_sunlit_cylindrical(const geo::Vec3& sat_teme_km,
+[[nodiscard]] bool is_sunlit_cylindrical(const geo::TemeKm& sat_teme_km,
                                          const time::JulianDate& jd);
 
 /// Conical shadow classification (umbra / penumbra / sunlit) from the
 /// apparent angular radii of the Sun and Earth at the satellite.
-[[nodiscard]] Illumination classify_illumination(const geo::Vec3& sat_teme_km,
+[[nodiscard]] Illumination classify_illumination(const geo::TemeKm& sat_teme_km,
                                                  const time::JulianDate& jd);
 
 /// Convenience: sunlit under the conical model (penumbra counts as sunlit).
-[[nodiscard]] inline bool is_sunlit(const geo::Vec3& sat_teme_km,
+[[nodiscard]] inline bool is_sunlit(const geo::TemeKm& sat_teme_km,
                                     const time::JulianDate& jd) {
   return classify_illumination(sat_teme_km, jd) != Illumination::kUmbra;
 }

@@ -11,7 +11,7 @@ namespace starlab::sun {
 
 using geo::deg_to_rad;
 
-geo::Vec3 sun_position_teme(const time::JulianDate& jd) {
+geo::TemeKm sun_position_teme(const time::JulianDate& jd) {
   // Astronomical Almanac low-precision formulae (also Vallado Alg. 29).
   const double n = (jd.day_part() - time::kJ2000Jd) + jd.frac_part();
 
@@ -30,7 +30,7 @@ geo::Vec3 sun_position_teme(const time::JulianDate& jd) {
           r_km * std::sin(obliquity) * std::sin(ecl_lon)};
 }
 
-geo::Vec3 sun_direction_teme(const time::JulianDate& jd) {
+geo::TemeKm sun_direction_teme(const time::JulianDate& jd) {
   return sun_position_teme(jd).normalized();
 }
 
@@ -43,7 +43,7 @@ double local_solar_hour(double longitude_deg, double unix_sec) {
 }
 
 double sun_elevation_deg(const geo::Geodetic& site, const time::JulianDate& jd) {
-  const geo::Vec3 sun_ecef = geo::teme_to_ecef(sun_position_teme(jd), jd);
+  const geo::EcefKm sun_ecef = geo::teme_to_ecef(sun_position_teme(jd), jd);
   return geo::look_angles(site, sun_ecef).elevation_deg;
 }
 

@@ -4,6 +4,7 @@
 // over 1950-2050 — two orders of magnitude tighter than needed to decide
 // whether a satellite is sunlit (the paper computes this with Skyfield).
 
+#include "geo/frame_vec.hpp"
 #include "geo/geodetic.hpp"
 #include "geo/vec3.hpp"
 #include "time/julian_date.hpp"
@@ -17,10 +18,10 @@ inline constexpr double kAuKm = 149597870.7;
 inline constexpr double kSunRadiusKm = 696000.0;
 
 /// Sun position [km] in the TEME/mean-equator frame at a UTC instant.
-[[nodiscard]] geo::Vec3 sun_position_teme(const time::JulianDate& jd);
+[[nodiscard]] geo::TemeKm sun_position_teme(const time::JulianDate& jd);
 
 /// Unit vector toward the sun in the TEME frame.
-[[nodiscard]] geo::Vec3 sun_direction_teme(const time::JulianDate& jd);
+[[nodiscard]] geo::TemeKm sun_direction_teme(const time::JulianDate& jd);
 
 /// Local mean solar hour [0, 24) at a given longitude: UTC hour shifted by
 /// longitude/15. This is the "local time" feature (t_l) of the paper's model.

@@ -37,10 +37,10 @@ class JulianDate {
   JulianDate(double day, double frac) : day_(day), frac_(frac) { normalize(); }
 
   /// Julian date from Unix seconds (UTC).
-  static JulianDate from_unix_seconds(double unix_sec);
+  [[nodiscard]] static JulianDate from_unix_seconds(double unix_sec);
 
   /// Julian date of a Gregorian calendar instant (proleptic, valid 1900-2100).
-  static JulianDate from_calendar(int year, int month, int day, int hour,
+  [[nodiscard]] static JulianDate from_calendar(int year, int month, int day, int hour,
                                   int minute, double second);
 
   /// Combined value. Loses precision below ~1 microsecond for modern dates;

@@ -20,10 +20,10 @@ struct UtcTime {
   double second = 0.0;
 
   /// Parse from the calendar fields of a Julian date.
-  static UtcTime from_julian(const JulianDate& jd);
+  [[nodiscard]] static UtcTime from_julian(const JulianDate& jd);
 
   /// Parse from Unix seconds.
-  static UtcTime from_unix_seconds(double unix_sec) {
+  [[nodiscard]] static UtcTime from_unix_seconds(double unix_sec) {
     return from_julian(JulianDate::from_unix_seconds(unix_sec));
   }
 
@@ -44,7 +44,7 @@ struct UtcTime {
 
   /// Build a UtcTime from a year and fractional day-of-year (TLE epoch
   /// convention, day 1.0 == Jan 1 00:00).
-  static UtcTime from_year_and_days(int year, double fractional_days);
+  [[nodiscard]] static UtcTime from_year_and_days(int year, double fractional_days);
 
   /// ISO-8601 "YYYY-MM-DDThh:mm:ss.mmmZ".
   [[nodiscard]] std::string to_iso8601() const;

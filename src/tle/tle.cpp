@@ -29,6 +29,12 @@ double to_double(const std::string& s, const char* what) {
     throw TleParseError(std::string("bad numeric TLE field (") + what + "): '" +
                         s + "'");
   }
+  // strtod happily accepts "nan"/"inf" spellings; orbital elements are
+  // always finite, so treat them as corruption, not numbers.
+  if (!std::isfinite(v)) {
+    throw TleParseError(std::string("non-finite TLE field (") + what + "): '" +
+                        s + "'");
+  }
   return v;
 }
 

@@ -55,7 +55,7 @@ struct Tle {
   /// Parse from the two element lines; `name` may come from a preceding
   /// title line. Verifies line numbers, catalog-number consistency and both
   /// checksums. Throws TleParseError on any violation.
-  static Tle parse(const std::string& line1, const std::string& line2,
+  [[nodiscard]] static Tle parse(const std::string& line1, const std::string& line2,
                    const std::string& name = {});
 
   /// Format line 1 (69 chars, checksummed).

@@ -28,11 +28,11 @@ double on_grid_time() {
 TEST(EphemerisCache, SecondOnGridQueryIsAHit) {
   const EphemerisCache cache(tiny_scenario().catalog());
   const auto jd = time::JulianDate::from_unix_seconds(on_grid_time());
-  const geo::Vec3 first = cache.position_teme(0, jd);
-  const geo::Vec3 second = cache.position_teme(0, jd);
-  EXPECT_EQ(first.x, second.x);
-  EXPECT_EQ(first.y, second.y);
-  EXPECT_EQ(first.z, second.z);
+  const geo::TemeKm first = cache.position_teme(0, jd);
+  const geo::TemeKm second = cache.position_teme(0, jd);
+  EXPECT_EQ(first.x(), second.x());
+  EXPECT_EQ(first.y(), second.y());
+  EXPECT_EQ(first.z(), second.z());
   const EphemerisCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);

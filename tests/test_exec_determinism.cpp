@@ -48,12 +48,12 @@ TEST(ExecDeterminism, PropagateAllBitIdenticalAcrossThreadCounts) {
     ASSERT_EQ(snaps.size(), baseline.size()) << "threads=" << nt;
     for (std::size_t i = 0; i < snaps.size(); ++i) {
       EXPECT_EQ(snaps[i].valid, baseline[i].valid);
-      EXPECT_EQ(snaps[i].teme_km.x, baseline[i].teme_km.x);
-      EXPECT_EQ(snaps[i].teme_km.y, baseline[i].teme_km.y);
-      EXPECT_EQ(snaps[i].teme_km.z, baseline[i].teme_km.z);
-      EXPECT_EQ(snaps[i].ecef_km.x, baseline[i].ecef_km.x);
-      EXPECT_EQ(snaps[i].ecef_km.y, baseline[i].ecef_km.y);
-      EXPECT_EQ(snaps[i].ecef_km.z, baseline[i].ecef_km.z);
+      EXPECT_EQ(snaps[i].teme_km.x(), baseline[i].teme_km.x());
+      EXPECT_EQ(snaps[i].teme_km.y(), baseline[i].teme_km.y());
+      EXPECT_EQ(snaps[i].teme_km.z(), baseline[i].teme_km.z());
+      EXPECT_EQ(snaps[i].ecef_km.x(), baseline[i].ecef_km.x());
+      EXPECT_EQ(snaps[i].ecef_km.y(), baseline[i].ecef_km.y());
+      EXPECT_EQ(snaps[i].ecef_km.z(), baseline[i].ecef_km.z());
       EXPECT_EQ(snaps[i].sunlit, baseline[i].sunlit);
     }
   }

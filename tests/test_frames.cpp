@@ -29,28 +29,28 @@ TEST(Frames, RotateZPreservesNormAndZ) {
 
 TEST(Frames, TemeEcefRoundTrip) {
   const JulianDate jd = JulianDate::from_calendar(2023, 6, 1, 7, 30, 0.0);
-  const Vec3 teme{6524.834, 6862.875, 6448.296};
-  const Vec3 back = ecef_to_teme(teme_to_ecef(teme, jd), jd);
-  EXPECT_NEAR(back.x, teme.x, 1e-8);
-  EXPECT_NEAR(back.y, teme.y, 1e-8);
-  EXPECT_NEAR(back.z, teme.z, 1e-8);
+  const TemeKm teme{6524.834, 6862.875, 6448.296};
+  const TemeKm back = ecef_to_teme(teme_to_ecef(teme, jd), jd);
+  EXPECT_NEAR(back.x(), teme.x(), 1e-8);
+  EXPECT_NEAR(back.y(), teme.y(), 1e-8);
+  EXPECT_NEAR(back.z(), teme.z(), 1e-8);
 }
 
 TEST(Frames, PolePointUnchanged) {
   const JulianDate jd = JulianDate::from_calendar(2023, 6, 1, 7, 30, 0.0);
-  const Vec3 pole{0.0, 0.0, 7000.0};
-  const Vec3 ecef = teme_to_ecef(pole, jd);
-  EXPECT_NEAR(ecef.x, 0.0, 1e-12);
-  EXPECT_NEAR(ecef.y, 0.0, 1e-12);
-  EXPECT_NEAR(ecef.z, 7000.0, 1e-12);
+  const TemeKm pole{0.0, 0.0, 7000.0};
+  const EcefKm ecef = teme_to_ecef(pole, jd);
+  EXPECT_NEAR(ecef.x(), 0.0, 1e-12);
+  EXPECT_NEAR(ecef.y(), 0.0, 1e-12);
+  EXPECT_NEAR(ecef.z(), 7000.0, 1e-12);
 }
 
 TEST(Frames, RotationAngleMatchesGmst) {
   const JulianDate jd = JulianDate::from_calendar(2023, 6, 1, 0, 0, 0.0);
-  const Vec3 x{7000.0, 0.0, 0.0};
-  const Vec3 ecef = teme_to_ecef(x, jd);
+  const TemeKm x{7000.0, 0.0, 0.0};
+  const EcefKm ecef = teme_to_ecef(x, jd);
   // The angle between input and output (in the equatorial plane) equals GMST.
-  double angle = std::atan2(ecef.y, ecef.x);
+  double angle = std::atan2(ecef.y(), ecef.x());
   const double expected = -starlab::time::gmst_radians(jd);
   EXPECT_NEAR(wrap_two_pi(angle), wrap_two_pi(expected), 1e-12);
 }
@@ -59,14 +59,14 @@ TEST(Frames, EarthFixedPointIsFixedInEcef) {
   // A geostationary-like TEME point rotates with the Earth; equivalently an
   // ECEF point converted to TEME at two times differs by Earth rotation but
   // converts back identically.
-  const Vec3 ecef{42164.0, 0.0, 0.0};
+  const EcefKm ecef{42164.0, 0.0, 0.0};
   const JulianDate t0 = JulianDate::from_calendar(2023, 6, 1, 0, 0, 0.0);
   const JulianDate t1 = t0.plus_seconds(3600.0);
-  const Vec3 teme0 = ecef_to_teme(ecef, t0);
-  const Vec3 teme1 = ecef_to_teme(ecef, t1);
+  const TemeKm teme0 = ecef_to_teme(ecef, t0);
+  const TemeKm teme1 = ecef_to_teme(ecef, t1);
   EXPECT_GT((teme1 - teme0).norm(), 1000.0);  // moved in inertial space
-  const Vec3 back0 = teme_to_ecef(teme0, t0);
-  const Vec3 back1 = teme_to_ecef(teme1, t1);
+  const EcefKm back0 = teme_to_ecef(teme0, t0);
+  const EcefKm back1 = teme_to_ecef(teme1, t1);
   EXPECT_NEAR((back0 - ecef).norm(), 0.0, 1e-8);
   EXPECT_NEAR((back1 - ecef).norm(), 0.0, 1e-8);
 }

@@ -12,7 +12,7 @@ namespace {
 using starlab::testing::small_scenario;
 
 /// ECEF point at `alt_km` directly above a geodetic site.
-geo::Vec3 above(const geo::Geodetic& site, double alt_km) {
+geo::EcefKm above(const geo::Geodetic& site, double alt_km) {
   geo::Geodetic raised = site;
   raised.height_km += alt_km;
   return geo::geodetic_to_ecef(raised);
@@ -20,7 +20,7 @@ geo::Vec3 above(const geo::Geodetic& site, double alt_km) {
 
 TEST(Gateway, SatelliteOverGatewayIsConnected) {
   const GatewayNetwork net = GatewayNetwork::paper_region_network();
-  const geo::Vec3 sat = above(net.gateways().front().site, 550.0);
+  const geo::EcefKm sat = above(net.gateways().front().site, 550.0);
   EXPECT_TRUE(net.has_gateway(sat));
   EXPECT_GE(net.visible_gateways(sat), 1);
 }
@@ -28,7 +28,7 @@ TEST(Gateway, SatelliteOverGatewayIsConnected) {
 TEST(Gateway, SatelliteOverPacificIsNot) {
   const GatewayNetwork net = GatewayNetwork::paper_region_network();
   // Mid-Pacific, no CONUS/EU gateway within ~1000 km.
-  const geo::Vec3 sat = above({0.0, -160.0, 0.0}, 550.0);
+  const geo::EcefKm sat = above({0.0, -160.0, 0.0}, 550.0);
   EXPECT_FALSE(net.has_gateway(sat));
   EXPECT_EQ(net.visible_gateways(sat), 0);
 }
@@ -45,7 +45,7 @@ TEST(Gateway, DenseNetworkCoversPaperTerminals) {
     for (const Candidate& c : small_scenario().terminal(t).usable_candidates(
              small_scenario().catalog(), jd)) {
       ++total;
-      const geo::Vec3 ecef = geo::teme_to_ecef(c.sky.position_teme_km, jd);
+      const geo::EcefKm ecef = geo::teme_to_ecef(c.sky.position_teme_km, jd);
       if (net.has_gateway(ecef)) ++connected;
     }
   }
@@ -62,7 +62,7 @@ TEST(Gateway, SparseNetworkBindsSometimes) {
     for (const Candidate& c : small_scenario().terminal(t).usable_candidates(
              small_scenario().catalog(), jd)) {
       ++total;
-      const geo::Vec3 ecef = geo::teme_to_ecef(c.sky.position_teme_km, jd);
+      const geo::EcefKm ecef = geo::teme_to_ecef(c.sky.position_teme_km, jd);
       if (net.has_gateway(ecef)) ++connected;
     }
   }
@@ -88,7 +88,7 @@ TEST(Gateway, SchedulerRespectsConstraint) {
     const auto& catalog = small_scenario().catalog();
     const auto idx = catalog.index_of(alloc->norad_id);
     ASSERT_TRUE(idx.has_value());
-    const geo::Vec3 ecef = catalog.ephemeris(*idx).position_ecef(jd);
+    const geo::EcefKm ecef = catalog.ephemeris(*idx).position_ecef(jd);
     EXPECT_TRUE(net.has_gateway(ecef)) << "slot " << s;
   }
   EXPECT_GT(checked, 5);

@@ -10,28 +10,28 @@ namespace starlab::geo {
 namespace {
 
 TEST(Geodetic, EquatorPrimeMeridian) {
-  const Vec3 p = geodetic_to_ecef({0.0, 0.0, 0.0});
-  EXPECT_NEAR(p.x, kWgs84.radius_km, 1e-6);
-  EXPECT_NEAR(p.y, 0.0, 1e-9);
-  EXPECT_NEAR(p.z, 0.0, 1e-9);
+  const EcefKm p = geodetic_to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(p.x(), kWgs84.radius_km, 1e-6);
+  EXPECT_NEAR(p.y(), 0.0, 1e-9);
+  EXPECT_NEAR(p.z(), 0.0, 1e-9);
 }
 
 TEST(Geodetic, NorthPoleUsesPolarRadius) {
-  const Vec3 p = geodetic_to_ecef({90.0, 0.0, 0.0});
+  const EcefKm p = geodetic_to_ecef({90.0, 0.0, 0.0});
   const double polar_radius = kWgs84.radius_km * (1.0 - kWgs84.flattening);
-  EXPECT_NEAR(p.z, polar_radius, 1e-6);
-  EXPECT_NEAR(std::hypot(p.x, p.y), 0.0, 1e-6);
+  EXPECT_NEAR(p.z(), polar_radius, 1e-6);
+  EXPECT_NEAR(std::hypot(p.x(), p.y()), 0.0, 1e-6);
 }
 
 TEST(Geodetic, EastLongitudeIsPositiveY) {
-  const Vec3 p = geodetic_to_ecef({0.0, 90.0, 0.0});
-  EXPECT_NEAR(p.x, 0.0, 1e-6);
-  EXPECT_NEAR(p.y, kWgs84.radius_km, 1e-6);
+  const EcefKm p = geodetic_to_ecef({0.0, 90.0, 0.0});
+  EXPECT_NEAR(p.x(), 0.0, 1e-6);
+  EXPECT_NEAR(p.y(), kWgs84.radius_km, 1e-6);
 }
 
 TEST(Geodetic, HeightAddsAlongNormal) {
-  const Vec3 ground = geodetic_to_ecef({0.0, 0.0, 0.0});
-  const Vec3 raised = geodetic_to_ecef({0.0, 0.0, 550.0});
+  const EcefKm ground = geodetic_to_ecef({0.0, 0.0, 0.0});
+  const EcefKm raised = geodetic_to_ecef({0.0, 0.0, 550.0});
   EXPECT_NEAR((raised - ground).norm(), 550.0, 1e-6);
 }
 
@@ -69,7 +69,7 @@ TEST(Geodetic, SurfacePointsLieOnEllipsoid) {
   const double a = kWgs84.radius_km;
   const double b = a * (1.0 - kWgs84.flattening);
   for (double lat = -80.0; lat <= 80.0; lat += 20.0) {
-    const Vec3 p = geodetic_to_ecef({lat, 45.0, 0.0});
+    const Vec3 p = geodetic_to_ecef({lat, 45.0, 0.0}).raw();
     const double lhs =
         (p.x * p.x + p.y * p.y) / (a * a) + p.z * p.z / (b * b);
     EXPECT_NEAR(lhs, 1.0, 1e-12) << "lat " << lat;

@@ -5,78 +5,81 @@
 namespace starlab::ground {
 namespace {
 
+using namespace starlab::geo::literals;
+using starlab::geo::Deg;
+
 TEST(ObstructionMask, ClearSkyBlocksNothing) {
   const ObstructionMask mask;
   for (double az = 0.0; az < 360.0; az += 15.0) {
-    EXPECT_FALSE(mask.blocked(az, 0.1));
-    EXPECT_DOUBLE_EQ(mask.horizon_at(az), 0.0);
+    EXPECT_FALSE(mask.blocked(Deg(az), 0.1_deg));
+    EXPECT_DOUBLE_EQ(mask.horizon_at(Deg(az)).value(), 0.0);
   }
   EXPECT_DOUBLE_EQ(mask.obstructed_fraction(), 0.0);
 }
 
 TEST(ObstructionMask, SimpleSectorBlocks) {
   ObstructionMask mask;
-  mask.add_obstruction(90.0, 180.0, 40.0);
-  EXPECT_TRUE(mask.blocked(135.0, 30.0));
-  EXPECT_FALSE(mask.blocked(135.0, 45.0));
-  EXPECT_FALSE(mask.blocked(45.0, 30.0));
-  EXPECT_FALSE(mask.blocked(225.0, 30.0));
+  mask.add_obstruction(90.0_deg, 180.0_deg, 40.0_deg);
+  EXPECT_TRUE(mask.blocked(135.0_deg, 30.0_deg));
+  EXPECT_FALSE(mask.blocked(135.0_deg, 45.0_deg));
+  EXPECT_FALSE(mask.blocked(45.0_deg, 30.0_deg));
+  EXPECT_FALSE(mask.blocked(225.0_deg, 30.0_deg));
 }
 
 TEST(ObstructionMask, SectorEdgesAreHalfOpen) {
   ObstructionMask mask;
-  mask.add_obstruction(90.0, 180.0, 40.0);
-  EXPECT_TRUE(mask.blocked(90.0, 30.0));     // start inclusive
-  EXPECT_FALSE(mask.blocked(180.01, 30.0));  // end exclusive
+  mask.add_obstruction(90.0_deg, 180.0_deg, 40.0_deg);
+  EXPECT_TRUE(mask.blocked(90.0_deg, 30.0_deg));     // start inclusive
+  EXPECT_FALSE(mask.blocked(180.01_deg, 30.0_deg));  // end exclusive
 }
 
 TEST(ObstructionMask, WrapsThroughNorth) {
   ObstructionMask mask;
-  mask.add_obstruction(300.0, 30.0, 50.0);
-  EXPECT_TRUE(mask.blocked(330.0, 45.0));
-  EXPECT_TRUE(mask.blocked(0.0, 45.0));
-  EXPECT_TRUE(mask.blocked(25.0, 45.0));
-  EXPECT_FALSE(mask.blocked(45.0, 45.0));
-  EXPECT_FALSE(mask.blocked(270.0, 45.0));
+  mask.add_obstruction(300.0_deg, 30.0_deg, 50.0_deg);
+  EXPECT_TRUE(mask.blocked(330.0_deg, 45.0_deg));
+  EXPECT_TRUE(mask.blocked(0.0_deg, 45.0_deg));
+  EXPECT_TRUE(mask.blocked(25.0_deg, 45.0_deg));
+  EXPECT_FALSE(mask.blocked(45.0_deg, 45.0_deg));
+  EXPECT_FALSE(mask.blocked(270.0_deg, 45.0_deg));
 }
 
 TEST(ObstructionMask, OverlappingObstructionsTakeMax) {
   ObstructionMask mask;
-  mask.add_obstruction(0.0, 90.0, 30.0);
-  mask.add_obstruction(45.0, 135.0, 60.0);
-  EXPECT_DOUBLE_EQ(mask.horizon_at(20.0), 30.0);
-  EXPECT_DOUBLE_EQ(mask.horizon_at(70.0), 60.0);
-  EXPECT_DOUBLE_EQ(mask.horizon_at(120.0), 60.0);
+  mask.add_obstruction(0.0_deg, 90.0_deg, 30.0_deg);
+  mask.add_obstruction(45.0_deg, 135.0_deg, 60.0_deg);
+  EXPECT_DOUBLE_EQ(mask.horizon_at(20.0_deg).value(), 30.0);
+  EXPECT_DOUBLE_EQ(mask.horizon_at(70.0_deg).value(), 60.0);
+  EXPECT_DOUBLE_EQ(mask.horizon_at(120.0_deg).value(), 60.0);
 }
 
 TEST(ObstructionMask, ObstructedFractionMonotonic) {
   ObstructionMask small, big;
-  small.add_obstruction(270.0, 360.0, 40.0);
-  big.add_obstruction(270.0, 360.0, 70.0);
-  EXPECT_GT(big.obstructed_fraction(25.0), small.obstructed_fraction(25.0));
-  EXPECT_GT(small.obstructed_fraction(25.0), 0.0);
-  EXPECT_LT(big.obstructed_fraction(25.0), 1.0);
+  small.add_obstruction(270.0_deg, 360.0_deg, 40.0_deg);
+  big.add_obstruction(270.0_deg, 360.0_deg, 70.0_deg);
+  EXPECT_GT(big.obstructed_fraction(25.0_deg), small.obstructed_fraction(25.0_deg));
+  EXPECT_GT(small.obstructed_fraction(25.0_deg), 0.0);
+  EXPECT_LT(big.obstructed_fraction(25.0_deg), 1.0);
 }
 
 TEST(ObstructionMask, FullDomeObstruction) {
   ObstructionMask mask;
-  mask.add_obstruction(0.0, 360.0, 90.0);
-  EXPECT_NEAR(mask.obstructed_fraction(25.0), 1.0, 1e-9);
-  EXPECT_TRUE(mask.blocked(123.0, 89.0));
+  mask.add_obstruction(0.0_deg, 360.0_deg, 90.0_deg);
+  EXPECT_NEAR(mask.obstructed_fraction(25.0_deg), 1.0, 1e-9);
+  EXPECT_TRUE(mask.blocked(123.0_deg, 89.0_deg));
 }
 
 TEST(ObstructionMask, BelowFloorObstructionInvisibleToFraction) {
   // A 20-deg horizon does not intrude above the 25-deg hardware floor.
   ObstructionMask mask;
-  mask.add_obstruction(0.0, 360.0, 20.0);
-  EXPECT_NEAR(mask.obstructed_fraction(25.0), 0.0, 1e-9);
+  mask.add_obstruction(0.0_deg, 360.0_deg, 20.0_deg);
+  EXPECT_NEAR(mask.obstructed_fraction(25.0_deg), 0.0, 1e-9);
 }
 
 TEST(ObstructionMask, NegativeAzimuthNormalized) {
   ObstructionMask mask;
-  mask.add_obstruction(-30.0, 30.0, 45.0);
-  EXPECT_TRUE(mask.blocked(345.0, 40.0));
-  EXPECT_TRUE(mask.blocked(15.0, 40.0));
+  mask.add_obstruction(-30.0_deg, 30.0_deg, 45.0_deg);
+  EXPECT_TRUE(mask.blocked(345.0_deg, 40.0_deg));
+  EXPECT_TRUE(mask.blocked(15.0_deg, 40.0_deg));
 }
 
 }  // namespace

@@ -33,24 +33,24 @@ TEST(Sites, AllAboveFortyNorth) {
 TEST(Sites, PopIsNearItsTerminal) {
   // Each PoP serves its region: within ~500 km of the dish.
   for (const Terminal& t : paper_terminals()) {
-    const geo::Vec3 dish = geo::geodetic_to_ecef(t.site());
-    const geo::Vec3 pop = geo::geodetic_to_ecef(t.pop_site());
+    const geo::EcefKm dish = geo::geodetic_to_ecef(t.site());
+    const geo::EcefKm pop = geo::geodetic_to_ecef(t.pop_site());
     EXPECT_LT((dish - pop).norm(), 500.0) << t.name();
   }
 }
 
 TEST(Sites, OnlyIthacaIsObstructed) {
   const auto terminals = paper_terminals();
-  EXPECT_GT(terminals[1].mask().obstructed_fraction(25.0), 0.05);
-  EXPECT_DOUBLE_EQ(terminals[0].mask().obstructed_fraction(25.0), 0.0);
-  EXPECT_DOUBLE_EQ(terminals[2].mask().obstructed_fraction(25.0), 0.0);
-  EXPECT_DOUBLE_EQ(terminals[3].mask().obstructed_fraction(25.0), 0.0);
+  EXPECT_GT(terminals[1].mask().obstructed_fraction(geo::Deg(25.0)), 0.05);
+  EXPECT_DOUBLE_EQ(terminals[0].mask().obstructed_fraction(geo::Deg(25.0)), 0.0);
+  EXPECT_DOUBLE_EQ(terminals[2].mask().obstructed_fraction(geo::Deg(25.0)), 0.0);
+  EXPECT_DOUBLE_EQ(terminals[3].mask().obstructed_fraction(geo::Deg(25.0)), 0.0);
 }
 
 TEST(Sites, IthacaObstructionIsNorthWest) {
   const auto cfg = paper_terminal_config(Site::kNewYork);
-  EXPECT_GT(cfg.mask.horizon_at(315.0), 40.0);
-  EXPECT_DOUBLE_EQ(cfg.mask.horizon_at(135.0), 0.0);
+  EXPECT_GT(cfg.mask.horizon_at(geo::Deg(315.0)).value(), 40.0);
+  EXPECT_DOUBLE_EQ(cfg.mask.horizon_at(geo::Deg(135.0)).value(), 0.0);
 }
 
 TEST(Sites, StandardFieldOfViewParameters) {

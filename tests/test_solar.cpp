@@ -30,8 +30,8 @@ TEST(Solar, PerihelionInJanuaryAphelionInJuly) {
 TEST(Solar, DeclinationAtSolsticesAndEquinoxes) {
   // Declination == asin(z / r); ~+23.4 deg at June solstice, ~0 at equinox.
   auto decl = [](const JulianDate& jd) {
-    const geo::Vec3 s = sun_direction_teme(jd);
-    return geo::rad_to_deg(std::asin(s.z));
+    const geo::TemeKm s = sun_direction_teme(jd);
+    return geo::rad_to_deg(std::asin(s.z()));
   };
   EXPECT_NEAR(decl(JulianDate::from_calendar(2023, 6, 21, 12, 0, 0.0)), 23.4, 0.3);
   EXPECT_NEAR(decl(JulianDate::from_calendar(2023, 12, 21, 12, 0, 0.0)), -23.4, 0.3);

@@ -59,10 +59,10 @@ TEST(Terminal, GsoExclusionRemovesSouthernHighSky) {
 TEST(Terminal, IthacaMaskBlocksNorthWest) {
   const Terminal& ithaca = small_scenario().terminal(1);
   // A hypothetical NW satellite at 60 deg elevation is behind the trees.
-  EXPECT_TRUE(ithaca.mask().blocked(315.0, 60.0));
-  EXPECT_FALSE(ithaca.mask().blocked(315.0, 75.0));
+  EXPECT_TRUE(ithaca.mask().blocked(geo::Deg(315.0), geo::Deg(60.0)));
+  EXPECT_FALSE(ithaca.mask().blocked(geo::Deg(315.0), geo::Deg(75.0)));
   // Iowa's sky is clean.
-  EXPECT_FALSE(small_scenario().terminal(0).mask().blocked(315.0, 45.0));
+  EXPECT_FALSE(small_scenario().terminal(0).mask().blocked(geo::Deg(315.0), geo::Deg(45.0)));
 }
 
 TEST(Terminal, IthacaObstructionShowsUpInCandidates) {

@@ -11,21 +11,21 @@ namespace {
 const Geodetic kObserver{40.0, -90.0, 0.0};
 
 /// A target `range_km` away in the direction (az, el) from the observer.
-Vec3 target_at(const Geodetic& obs, double az, double el, double range_km) {
-  const Vec3 obs_ecef = geodetic_to_ecef(obs);
-  return obs_ecef + direction_from_look(obs, az, el) * range_km;
+EcefKm target_at(const Geodetic& obs, double az, double el, double range_km) {
+  const EcefKm obs_ecef = geodetic_to_ecef(obs);
+  return obs_ecef + direction_from_look(obs, Deg(az), Deg(el)) * range_km;
 }
 
 TEST(Topocentric, ZenithTarget) {
-  const Vec3 target = target_at(kObserver, 0.0, 90.0, 550.0);
+  const EcefKm target = target_at(kObserver, 0.0, 90.0, 550.0);
   const LookAngles la = look_angles(kObserver, target);
   EXPECT_NEAR(la.elevation_deg, 90.0, 1e-6);
   EXPECT_NEAR(la.range_km, 550.0, 1e-6);
 }
 
 TEST(Topocentric, RangeIsEuclideanDistance) {
-  const Vec3 obs_ecef = geodetic_to_ecef(kObserver);
-  const Vec3 target = target_at(kObserver, 123.0, 34.0, 987.0);
+  const EcefKm obs_ecef = geodetic_to_ecef(kObserver);
+  const EcefKm target = target_at(kObserver, 123.0, 34.0, 987.0);
   const LookAngles la = look_angles(kObserver, target);
   EXPECT_NEAR(la.range_km, (target - obs_ecef).norm(), 1e-9);
 }
@@ -39,7 +39,7 @@ class LookRoundTrip : public ::testing::TestWithParam<AzEl> {};
 
 TEST_P(LookRoundTrip, AzElRecovered) {
   const auto [az, el] = GetParam();
-  const Vec3 target = target_at(kObserver, az, el, 800.0);
+  const EcefKm target = target_at(kObserver, az, el, 800.0);
   const LookAngles la = look_angles(kObserver, target);
   EXPECT_NEAR(la.elevation_deg, el, 1e-6);
   if (el < 89.9) {  // azimuth is undefined at zenith
@@ -96,7 +96,7 @@ TEST(Topocentric, SkySeparationTriangleInequality) {
 
 TEST(Topocentric, DirectionFromLookIsUnit) {
   for (double az = 0.0; az < 360.0; az += 60.0) {
-    EXPECT_NEAR(direction_from_look(kObserver, az, 42.0).norm(), 1.0, 1e-12);
+    EXPECT_NEAR(direction_from_look(kObserver, Deg(az), Deg(42.0)).norm(), 1.0, 1e-12);
   }
 }
 
