@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <string>
@@ -202,13 +203,18 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
 
-  if (command == "synthesize") return cmd_synthesize(args);
-  if (command == "campaign") return cmd_campaign(args);
-  if (command == "probe") return cmd_probe(args);
-  if (command == "epoch") return cmd_epoch(args);
-  if (command == "identify") return cmd_identify(args);
-  if (command == "train") return cmd_train(args);
-  if (command == "evaluate") return cmd_evaluate(args);
+  try {
+    if (command == "synthesize") return cmd_synthesize(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "probe") return cmd_probe(args);
+    if (command == "epoch") return cmd_epoch(args);
+    if (command == "identify") return cmd_identify(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
   return usage();
 }

@@ -90,6 +90,26 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
       }
       shard.current.clear();
       shard.window = window;
+      shard.regress_streak = 0;
+      if (dropped > 0) {
+        evictions_.fetch_add(dropped, std::memory_order_relaxed);
+        CacheMetrics::get().evictions.add(dropped);
+      }
+    } else if (window == shard.window) {
+      shard.regress_streak = 0;
+    } else if (++shard.regress_streak >= kRegressPromoteStreak) {
+      // window == shard.window - 1, persistently: the clock stepped
+      // backwards across the generation boundary (not the benign transient
+      // straddle of parallel chunks, which at-window queries keep
+      // resetting). `current` is an abandoned future generation — serving
+      // around it pins its entries forever and leaves the window ahead of
+      // real time. Invalidate it and regress the shard so the query's
+      // window is current again.
+      const std::size_t dropped = shard.current.size();
+      shard.current = std::move(shard.previous);
+      shard.previous.clear();
+      shard.window -= 1;
+      shard.regress_streak = 0;
       if (dropped > 0) {
         evictions_.fetch_add(dropped, std::memory_order_relaxed);
         CacheMetrics::get().evictions.add(dropped);
@@ -169,6 +189,7 @@ void EphemerisCache::clear() {
     shard.current.clear();
     shard.previous.clear();
     shard.window = INT64_MIN;
+    shard.regress_streak = 0;
   }
 }
 

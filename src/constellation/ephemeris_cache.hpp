@@ -79,7 +79,18 @@ class EphemerisCache {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, Entry> current, previous;
     std::int64_t window = INT64_MIN;  ///< generation id of `current`
+    /// Consecutive queries one window behind `window`. A brief straddle
+    /// (parallel chunks interleaving across a boundary) stays small; a
+    /// sustained streak means the clock actually stepped backwards and the
+    /// shard must regress instead of serving around an abandoned future
+    /// generation. Guarded by `mu`.
+    int regress_streak = 0;
   };
+
+  /// Backward-straddle queries tolerated before the shard concludes the
+  /// clock stepped back, evicts the abandoned `current` generation and
+  /// regresses its window (see Shard::regress_streak).
+  static constexpr int kRegressPromoteStreak = 64;
 
   /// Quantized tick (for sharding/windowing) of a near-grid unix time;
   /// false when off-grid, i.e. not worth caching.

@@ -49,6 +49,72 @@ std::vector<const SlotObs*> CampaignData::for_terminal(
   return out;
 }
 
+namespace {
+
+/// The slot arithmetic run_campaign has always used, factored so the
+/// record-index helpers below agree with it exactly.
+struct RecordWindow {
+  time::SlotIndex first = 0;
+  time::SlotIndex num_slots = 0;
+  time::SlotIndex stride = 1;
+
+  [[nodiscard]] std::size_t records() const {
+    if (num_slots <= 0 || stride <= 0) return 0;
+    return static_cast<std::size_t>((num_slots + stride - 1) / stride);
+  }
+  [[nodiscard]] time::SlotIndex slot(std::size_t record) const {
+    return first + static_cast<time::SlotIndex>(record) * stride;
+  }
+};
+
+RecordWindow record_window(const Scenario& scenario,
+                           const CampaignConfig& config) {
+  const time::SlotGrid& grid = scenario.grid();
+  RecordWindow w;
+  w.first = scenario.first_slot() +
+            static_cast<time::SlotIndex>(config.start_offset_hours * 3600.0 /
+                                         grid.period_seconds());
+  w.num_slots = static_cast<time::SlotIndex>(config.duration_hours * 3600.0 /
+                                             grid.period_seconds());
+  w.stride = config.slot_stride;
+  return w;
+}
+
+}  // namespace
+
+std::size_t campaign_recorded_slots(const Scenario& scenario,
+                                    const CampaignConfig& config) {
+  return record_window(scenario, config).records();
+}
+
+time::SlotIndex campaign_record_slot(const Scenario& scenario,
+                                     const CampaignConfig& config,
+                                     std::size_t record) {
+  return record_window(scenario, config).slot(record);
+}
+
+void finalize_campaign_report(CampaignData& data,
+                              const fault::FaultPlan& plan) {
+  obs::RunReport& report = data.report;
+  report.slots = data.slots.size();
+  report.decided = 0;
+  report.degraded = 0;
+  report.quality.clear();
+  for (const quality::Flag& f : quality::kFlags) {
+    report.quality.emplace_back(f.name, 0);
+  }
+  for (const SlotObs& slot : data.slots) {
+    if (slot.has_choice()) ++report.decided;
+    if (slot.quality != 0) ++report.degraded;
+    for (std::size_t f = 0; f < std::size(quality::kFlags); ++f) {
+      if ((slot.quality & quality::kFlags[f].bit) != 0) {
+        ++report.quality[f].second;
+      }
+    }
+  }
+  report.fault_plan = fault::format_fault_plan(plan);
+}
+
 CampaignData run_campaign(const Scenario& scenario,
                           const CampaignConfig& config) {
   const obs::ObsSpan span("campaign.run");
@@ -68,12 +134,7 @@ CampaignData run_campaign(const Scenario& scenario,
   }
 
   const time::SlotGrid& grid = scenario.grid();
-  const time::SlotIndex first =
-      scenario.first_slot() +
-      static_cast<time::SlotIndex>(config.start_offset_hours * 3600.0 /
-                                   grid.period_seconds());
-  const auto num_slots = static_cast<time::SlotIndex>(
-      config.duration_hours * 3600.0 / grid.period_seconds());
+  const RecordWindow window = record_window(scenario, config);
   const scheduler::GlobalScheduler& global = scenario.global_scheduler();
   const constellation::Catalog& catalog = scenario.catalog();
   const fault::FaultPlan& plan =
@@ -87,11 +148,20 @@ CampaignData run_campaign(const Scenario& scenario,
   // one catalog propagation is shared by a slot's terminals. Slots are
   // therefore independent work items, partitioned over the exec pool and
   // flattened back in slot order — bit-identical to the former serial loop
-  // at any thread count.
+  // at any thread count. The record_* fields select an index sub-window of
+  // that same list, so a sliced run computes exactly the rows the full run
+  // would at those indices.
+  const std::size_t total_records = window.records();
+  std::size_t record_begin = config.record_begin;
+  std::size_t record_end =
+      config.record_end == 0 ? total_records
+                             : std::min(config.record_end, total_records);
+  if (record_begin > record_end) record_begin = record_end;
+  const std::size_t record_step =
+      config.record_step == 0 ? 1 : config.record_step;
   std::vector<time::SlotIndex> slot_ids;
-  for (time::SlotIndex s = first; s < first + num_slots;
-       s += config.slot_stride) {
-    slot_ids.push_back(s);
+  for (std::size_t r = record_begin; r < record_end; r += record_step) {
+    slot_ids.push_back(window.slot(r));
   }
   std::vector<std::vector<SlotObs>> per_slot(slot_ids.size());
 
@@ -106,6 +176,7 @@ CampaignData run_campaign(const Scenario& scenario,
         obs::StageStat* la = timed ? &local_allocate : nullptr;
 
         for (std::size_t k = begin; k < end; ++k) {
+          if (config.cancel != nullptr) config.cancel->check();
           const time::SlotIndex s = slot_ids[k];
           const double t_mid = grid.slot_mid(s);
           const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
@@ -193,21 +264,8 @@ CampaignData run_campaign(const Scenario& scenario,
 
   // Run summary: slot counts, per-flag counts, the plan in force. Computed
   // once here so consumers never re-scan the slot vector.
+  finalize_campaign_report(data, plan);
   obs::RunReport& report = data.report;
-  report.slots = data.slots.size();
-  for (const quality::Flag& f : quality::kFlags) {
-    report.quality.emplace_back(f.name, 0);
-  }
-  for (const SlotObs& slot : data.slots) {
-    if (slot.has_choice()) ++report.decided;
-    if (slot.quality != 0) ++report.degraded;
-    for (std::size_t f = 0; f < std::size(quality::kFlags); ++f) {
-      if ((slot.quality & quality::kFlags[f].bit) != 0) {
-        ++report.quality[f].second;
-      }
-    }
-  }
-  report.fault_plan = fault::format_fault_plan(plan);
   if (timed) report.wall_ns = obs::monotonic_ns() - run_start;
 
   const CampaignMetrics& metrics = CampaignMetrics::get();

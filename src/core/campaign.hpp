@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "exec/cancel.hpp"
 #include "obs/run_report.hpp"
 
 namespace starlab::core {
@@ -31,6 +32,8 @@ inline constexpr std::uint32_t kFrameCorrupted = 1u << 2;  ///< observed frame h
 inline constexpr std::uint32_t kAbstained = 1u << 3;  ///< identifier declined to answer
 inline constexpr std::uint32_t kResetDetected = 1u << 4;  ///< unnoticed reboot between frames
 inline constexpr std::uint32_t kCandidateDropout = 1u << 5;  ///< >=1 candidate dropped from this slot
+inline constexpr std::uint32_t kQuarantined = 1u << 6;  ///< supervised task gave up; gap observation
+inline constexpr std::uint32_t kShedSlot = 1u << 7;  ///< dropped by degradation load-shedding
 
 /// All flags with their machine-readable names, in bit order — the keys the
 /// observability layer uses in RunReport quality counts.
@@ -42,6 +45,7 @@ inline constexpr Flag kFlags[] = {
     {kFrameMissing, "frame_missing"},     {kStaleBaseline, "stale_baseline"},
     {kFrameCorrupted, "frame_corrupted"}, {kAbstained, "abstained"},
     {kResetDetected, "reset_detected"},   {kCandidateDropout, "candidate_dropout"},
+    {kQuarantined, "quarantined"},        {kShedSlot, "shed_slot"},
 };
 
 /// Name of a single flag bit; nullptr for unknown bits.
@@ -108,10 +112,45 @@ struct CampaignConfig {
   /// campaign applies the per-slot satellite-dropout injector (candidates
   /// vanish before the scheduler sees them).
   std::optional<fault::FaultPlan> faults;
+
+  // --- resilience hooks (defaults reproduce the historical behavior) ---
+
+  /// Exact half-open window [record_begin, record_end) into the recorded
+  /// slot list (the stride-thinned slots the full config would record).
+  /// record_end == 0 disables the slice. The resilience layer shards a
+  /// campaign with these *integer* indices — hour arithmetic would not
+  /// round-trip — so concatenating shard outputs in order reproduces the
+  /// unsharded run bit for bit.
+  std::size_t record_begin = 0;
+  std::size_t record_end = 0;
+  /// Compute every k-th record of the (possibly sliced) window; the widened
+  /// grid of the degradation ladder. Skipped records are simply absent from
+  /// the output (the shard runner emits flagged gap rows for them).
+  std::size_t record_step = 1;
+
+  /// Cooperative cancellation, polled once per slot (non-owning; the
+  /// supervisor's deadline watchdog). nullptr: never cancelled.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Run a campaign over the scenario's terminals starting at its TLE epoch.
 [[nodiscard]] CampaignData run_campaign(const Scenario& scenario,
                                         const CampaignConfig& config = {});
+
+/// Number of slots the *full* config would record (slice fields ignored) —
+/// the index domain of record_begin/record_end.
+[[nodiscard]] std::size_t campaign_recorded_slots(const Scenario& scenario,
+                                                  const CampaignConfig& config);
+
+/// Slot id of recorded-slot index `record` under the full config.
+[[nodiscard]] time::SlotIndex campaign_record_slot(const Scenario& scenario,
+                                                   const CampaignConfig& config,
+                                                   std::size_t record);
+
+/// Recompute data.report's slot summary (slot/decided/degraded counts, the
+/// per-quality-flag table, the fault plan in force) from data.slots. Shared
+/// by run_campaign and the resilience shard assembler so a resumed
+/// campaign's report counts match an uninterrupted run's exactly.
+void finalize_campaign_report(CampaignData& data, const fault::FaultPlan& plan);
 
 }  // namespace starlab::core

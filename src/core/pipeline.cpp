@@ -163,8 +163,10 @@ InferencePipeline::recover_geometry_via_fill(const Scenario& scenario,
 }
 
 PipelineResult InferencePipeline::run(std::size_t terminal_index,
-                                      double duration_sec) const {
+                                      double duration_sec,
+                                      const exec::CancelToken* cancel) const {
   const obs::ObsSpan run_span("pipeline.run");
+  if (cancel == nullptr) cancel = config_.cancel;
   const bool timed = obs::enabled();
   const std::uint64_t run_start = timed ? obs::monotonic_ns() : 0;
 
@@ -211,6 +213,7 @@ PipelineResult InferencePipeline::run(std::size_t terminal_index,
   std::optional<obsmap::ObstructionMap> prev_frame;
   std::size_t polls_missed_since_prev = 0;
   for (time::SlotIndex s = first; s < first + num_slots; ++s) {
+    if (cancel != nullptr) cancel->check();
     // Scheduled terminal reset: wipes the frame, so the following slot has
     // no previous frame to XOR against and is skipped (as in the paper).
     if (slots_per_reset > 0 && (s - first) % slots_per_reset == 0 && s != first) {
@@ -306,46 +309,14 @@ CampaignData InferencePipeline::run_inferred_campaign(
     data.terminal_names.push_back(t.name());
   }
 
-  const time::SlotGrid& grid = scenario_.grid();
   double confidence_weighted = 0.0;
   for (std::size_t ti = 0; ti < scenario_.terminals().size(); ++ti) {
-    const ground::Terminal& terminal = scenario_.terminal(ti);
     const PipelineResult inferred = run(ti, duration_sec);
     // absorb() sums values; means need decided-slot weighting instead.
     confidence_weighted += inferred.report.value_or("mean_confidence", 0.0) *
                            static_cast<double>(inferred.report.decided);
     data.report.absorb(inferred.report);
-
-    for (const SlotIdentification& row : inferred.rows) {
-      const double t_mid = grid.slot_mid(row.slot);
-      const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
-
-      SlotObs obs;
-      obs.slot = row.slot;
-      obs.terminal_index = ti;
-      obs.unix_mid = t_mid;
-      obs.local_hour =
-          sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
-      obs.quality = row.quality;
-      obs.confidence = row.inferred_norad.has_value() ? row.confidence : 0.0;
-      // Same set usable_candidates() returns, via the (parallel)
-      // whole-catalog propagation instead of the serial visible_from walk.
-      std::vector<ground::Candidate> usable =
-          terminal.candidates_from_snapshots(
-              scenario_.catalog(), scenario_.catalog().propagate_all(jd), jd);
-      std::erase_if(usable,
-                    [](const ground::Candidate& c) { return !c.usable(); });
-      for (const ground::Candidate& c : usable) {
-        if (row.inferred_norad.has_value() &&
-            c.sky.norad_id == *row.inferred_norad) {
-          obs.chosen = static_cast<int>(obs.available.size());
-        }
-        obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
-                                 c.sky.look.elevation_deg, c.sky.age_days,
-                                 c.sky.sunlit});
-      }
-      data.slots.push_back(std::move(obs));
-    }
+    append_inferred_rows(data, inferred, ti);
   }
   data.report.add_value(
       "mean_confidence",
@@ -353,6 +324,42 @@ CampaignData InferencePipeline::run_inferred_campaign(
           ? 0.0
           : confidence_weighted / static_cast<double>(data.report.decided));
   return data;
+}
+
+void InferencePipeline::append_inferred_rows(CampaignData& data,
+                                             const PipelineResult& result,
+                                             std::size_t terminal_index) const {
+  const ground::Terminal& terminal = scenario_.terminal(terminal_index);
+  const time::SlotGrid& grid = scenario_.grid();
+  for (const SlotIdentification& row : result.rows) {
+    const double t_mid = grid.slot_mid(row.slot);
+    const time::JulianDate jd = time::JulianDate::from_unix_seconds(t_mid);
+
+    SlotObs obs;
+    obs.slot = row.slot;
+    obs.terminal_index = terminal_index;
+    obs.unix_mid = t_mid;
+    obs.local_hour =
+        sun::local_solar_hour(terminal.site().longitude_deg, t_mid);
+    obs.quality = row.quality;
+    obs.confidence = row.inferred_norad.has_value() ? row.confidence : 0.0;
+    // Same set usable_candidates() returns, via the (parallel)
+    // whole-catalog propagation instead of the serial visible_from walk.
+    std::vector<ground::Candidate> usable = terminal.candidates_from_snapshots(
+        scenario_.catalog(), scenario_.catalog().propagate_all(jd), jd);
+    std::erase_if(usable,
+                  [](const ground::Candidate& c) { return !c.usable(); });
+    for (const ground::Candidate& c : usable) {
+      if (row.inferred_norad.has_value() &&
+          c.sky.norad_id == *row.inferred_norad) {
+        obs.chosen = static_cast<int>(obs.available.size());
+      }
+      obs.available.push_back({c.sky.norad_id, c.sky.look.azimuth_deg,
+                               c.sky.look.elevation_deg, c.sky.age_days,
+                               c.sky.sunlit});
+    }
+    data.slots.push_back(std::move(obs));
+  }
 }
 
 }  // namespace starlab::core

@@ -87,6 +87,9 @@ struct PipelineConfig {
   /// pipeline applies the obstruction-map frame injector (dropped polls,
   /// bit flips) to what it observes — never to the dish's true state.
   std::optional<fault::FaultPlan> faults;
+  /// Cooperative cancellation, polled once per slot (non-owning). A
+  /// per-run token passed to run() overrides this one.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 class InferencePipeline {
@@ -94,9 +97,12 @@ class InferencePipeline {
   InferencePipeline(const Scenario& scenario, PipelineConfig config = {});
 
   /// Run the identification pipeline for `terminal_index` over
-  /// `duration_sec` starting at the scenario epoch.
-  [[nodiscard]] PipelineResult run(std::size_t terminal_index,
-                                   double duration_sec) const;
+  /// `duration_sec` starting at the scenario epoch. `cancel` (non-owning,
+  /// may be null) overrides the config's token for this run — the
+  /// resilience supervisor's per-attempt watchdog.
+  [[nodiscard]] PipelineResult run(
+      std::size_t terminal_index, double duration_sec,
+      const exec::CancelToken* cancel = nullptr) const;
 
   /// The paper's actual §5 data path: a campaign whose "chosen" column comes
   /// from obstruction-map identification, not from the oracle. Slots where
@@ -107,11 +113,22 @@ class InferencePipeline {
   /// tests).
   [[nodiscard]] CampaignData run_inferred_campaign(double duration_sec) const;
 
+  /// Convert one terminal's pipeline rows into campaign observations and
+  /// append them to `data` — the per-terminal body of
+  /// run_inferred_campaign, public so the resilience layer can supervise
+  /// terminals independently and still assemble an identical campaign.
+  void append_inferred_rows(CampaignData& data, const PipelineResult& result,
+                            std::size_t terminal_index) const;
+
   /// The map geometry the pipeline operates with (published constants, or
   /// the recovered one when config.recover_geometry is set).
   [[nodiscard]] const obsmap::MapGeometry& geometry() const {
     return geometry_;
   }
+
+  /// The scenario this pipeline runs against (the one passed at
+  /// construction; the pipeline never outlives it).
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
   /// §4.1 parameter recovery: accumulate `hours` of trajectories without a
   /// reset and fit the polar-plot geometry from the filled frame.

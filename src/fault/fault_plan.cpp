@@ -46,6 +46,8 @@ std::vector<Field> schema() {
       {"tle.stale_days",
        [](FaultPlan& p) -> double& { return p.tle.stale_days; }},
       {"dropout.rate", [](FaultPlan& p) -> double& { return p.dropout.rate; }},
+      {"exec.task_fail_rate",
+       [](FaultPlan& p) -> double& { return p.exec.task_fail_rate; }},
   };
 }
 
@@ -64,7 +66,8 @@ bool FaultPlan::enabled() const {
          rtt.extra_loss_rate > 0.0 || rtt.spike_rate > 0.0 ||
          clock.step_ms > 0.0 || clock.drift_ppm > 0.0 ||
          tle.corrupt_rate > 0.0 || tle.truncate_rate > 0.0 ||
-         tle.stale_days > 0.0 || dropout.rate > 0.0;
+         tle.stale_days > 0.0 || dropout.rate > 0.0 ||
+         exec.task_fail_rate > 0.0;
 }
 
 FaultPlan FaultPlan::with_intensity(double value) const {

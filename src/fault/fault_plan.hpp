@@ -70,6 +70,15 @@ struct DropoutFaultConfig {
   double rate = 0.0;
 };
 
+/// Execution faults: supervised tasks (slot shards, per-terminal pipeline
+/// passes) crashing mid-flight — the OOM kills and poisoned inputs the
+/// resilience supervisor exists to absorb.
+struct ExecFaultConfig {
+  /// Probability that one attempt of a supervised task fails outright.
+  /// Keyed by (task, attempt), so retries of a doomed attempt can succeed.
+  double task_fail_rate = 0.0;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 101;
   /// Global multiplier applied to every rate and magnitude above at
@@ -82,6 +91,7 @@ struct FaultPlan {
   ClockFaultConfig clock;
   TleFaultConfig tle;
   DropoutFaultConfig dropout;
+  ExecFaultConfig exec;
 
   /// True when at least one injector can fire at this intensity.
   [[nodiscard]] bool enabled() const;

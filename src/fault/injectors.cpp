@@ -22,6 +22,7 @@ constexpr std::uint64_t kTagSpike = 0xFA04;
 constexpr std::uint64_t kTagClockStep = 0xFA05;
 constexpr std::uint64_t kTagGeSeed = 0xFA06;
 constexpr std::uint64_t kTagTleLine = 0xFA07;
+constexpr std::uint64_t kTagTaskFail = 0xFA08;
 
 double draw(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
             std::uint64_t b = 0) {
@@ -63,6 +64,13 @@ std::size_t FrameFaultInjector::corrupt(obsmap::ObstructionMap& frame,
     }
   }
   return flipped;
+}
+
+bool TaskFaultInjector::fails(std::uint64_t task_key, int attempt) const {
+  const double rate = plan_.exec.task_fail_rate * plan_.intensity;
+  if (rate <= 0.0) return false;
+  return draw(plan_.seed, kTagTaskFail, task_key,
+              static_cast<std::uint64_t>(attempt)) < rate;
 }
 
 bool SlotDropoutInjector::dropped(int norad_id, time::SlotIndex slot) const {

@@ -9,6 +9,7 @@
 // by the plan's global intensity; at intensity 0 every injector is a no-op.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "fault/fault_plan.hpp"
@@ -99,6 +100,67 @@ class TleFaultInjector {
 
  private:
   FaultPlan plan_;
+};
+
+/// Crashes supervised task attempts (the resilience supervisor's retry and
+/// quarantine paths). Keyed by (task, attempt): the same plan crashes the
+/// same attempts of the same tasks on every replay, and a task whose first
+/// attempt is doomed may still succeed on retry.
+class TaskFaultInjector {
+ public:
+  explicit TaskFaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// True when `attempt` (1-based) of the task identified by `task_key`
+  /// should fail.
+  [[nodiscard]] bool fails(std::uint64_t task_key, int attempt) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Thrown when a WriteKillPoint budget runs out: the simulated process
+/// death mid-write. Catch sites treat the writer as gone.
+class WriteKilled : public std::runtime_error {
+ public:
+  explicit WriteKilled(std::uint64_t at_byte)
+      : std::runtime_error("write kill-point fired at byte " +
+                           std::to_string(at_byte)),
+        at_byte_(at_byte) {}
+  [[nodiscard]] std::uint64_t at_byte() const { return at_byte_; }
+
+ private:
+  std::uint64_t at_byte_;
+};
+
+/// Byte-budget write gate simulating a crash at an exact file offset: the
+/// first `kill_after_bytes` bytes offered to grant() pass through, the rest
+/// never happen. A durable writer consults the gate before each write and
+/// persists exactly the granted prefix before dying, so torn-tail recovery
+/// can be exercised at every byte boundary of the journal format.
+class WriteKillPoint {
+ public:
+  explicit WriteKillPoint(std::uint64_t kill_after_bytes)
+      : remaining_(kill_after_bytes) {}
+
+  /// How many of `want` bytes may still be written. Decrements the budget;
+  /// a return < want means the process dies after writing that prefix (the
+  /// caller writes it, then throws WriteKilled).
+  [[nodiscard]] std::uint64_t grant(std::uint64_t want) {
+    const std::uint64_t granted = want < remaining_ ? want : remaining_;
+    remaining_ -= granted;
+    granted_ += granted;
+    if (granted < want) killed_ = true;
+    return granted;
+  }
+
+  [[nodiscard]] bool killed() const { return killed_; }
+  /// Total bytes granted so far (== the kill offset once killed).
+  [[nodiscard]] std::uint64_t granted() const { return granted_; }
+
+ private:
+  std::uint64_t remaining_;
+  std::uint64_t granted_ = 0;
+  bool killed_ = false;
 };
 
 }  // namespace starlab::fault

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "io/csv.hpp"
+#include "io/file_util.hpp"
 
 namespace starlab::io {
 
@@ -171,22 +172,19 @@ core::CampaignData load_campaign_lenient(std::istream& in,
 
 void save_campaign_file(const std::string& path,
                         const core::CampaignData& data) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write campaign CSV: " + path);
+  std::ofstream out = open_output_file(path, "campaign CSV");
   save_campaign(out, data);
-  if (!out) throw std::runtime_error("IO error writing campaign CSV: " + path);
+  require_write_ok(out, path, "campaign CSV");
 }
 
 core::CampaignData load_campaign_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open campaign CSV: " + path);
+  std::ifstream in = open_input_file(path, "campaign CSV");
   return load_campaign(in);
 }
 
 core::CampaignData load_campaign_file_lenient(const std::string& path,
                                               ParseReport& report) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open campaign CSV: " + path);
+  std::ifstream in = open_input_file(path, "campaign CSV");
   return load_campaign_lenient(in, report);
 }
 

@@ -1,0 +1,116 @@
+#pragma once
+
+// Errno-aware file-open helpers shared by every load_*_file / save_*_file.
+//
+// "cannot open X" tells an operator nothing at 3 a.m. A days-long campaign
+// that dies on a file error needs the failure class up front: a *missing*
+// file means a config typo or an unfinished producer, an *unreadable* one
+// means permissions or a path that is really a directory, an *empty* one
+// means a writer crashed before its first flush. The helpers here classify
+// via stat(2)/errno and throw FileError carrying the kind, the path and the
+// strerror text, so call sites keep their one-liner shape.
+//
+// Header-only on purpose (like parse_report.hpp): tle:: sits below io:: in
+// the library graph and uses this without linking starlab::io.
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace starlab::io {
+
+/// Classified file I/O failure. Derives from std::runtime_error so legacy
+/// catch sites keep working; new ones can switch on kind().
+class FileError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kMissing,     ///< path does not exist (ENOENT)
+    kUnreadable,  ///< exists but cannot be read (EACCES, EISDIR, ...)
+    kEmpty,       ///< exists, readable, zero bytes
+    kWrite,       ///< cannot be created or written
+  };
+
+  FileError(Kind kind, std::string path, const std::string& detail)
+      : std::runtime_error(detail), kind_(kind), path_(std::move(path)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Kind kind_;
+  std::string path_;
+};
+
+namespace detail {
+inline std::string errno_text(int err) {
+  return std::make_error_code(static_cast<std::errc>(err)).message();
+}
+}  // namespace detail
+
+/// Open `path` for reading or throw a classified FileError. `what` names
+/// the artifact in messages ("TLE catalog", "campaign CSV", ...).
+/// `allow_empty` skips the zero-byte check for formats where an empty file
+/// is meaningful.
+[[nodiscard]] inline std::ifstream open_input_file(const std::string& path,
+                                                   const std::string& what,
+                                                   bool allow_empty = false) {
+  struct ::stat st = {};
+  if (::stat(path.c_str(), &st) != 0) {
+    const int err = errno;
+    if (err == ENOENT || err == ENOTDIR) {
+      throw FileError(
+          FileError::Kind::kMissing, path,
+          what + " missing: " + path + " (" + detail::errno_text(err) + ")");
+    }
+    throw FileError(
+        FileError::Kind::kUnreadable, path,
+        what + " unreadable: " + path + " (" + detail::errno_text(err) + ")");
+  }
+  if (S_ISDIR(st.st_mode)) {
+    throw FileError(FileError::Kind::kUnreadable, path,
+                    what + " unreadable: " + path + " (is a directory)");
+  }
+  std::ifstream in(path);
+  if (!in) {
+    const int err = errno;
+    throw FileError(
+        FileError::Kind::kUnreadable, path,
+        what + " unreadable: " + path + " (" +
+            (err != 0 ? detail::errno_text(err) : std::string("open failed")) +
+            ")");
+  }
+  if (!allow_empty && st.st_size == 0) {
+    throw FileError(FileError::Kind::kEmpty, path, what + " is empty: " + path);
+  }
+  return in;
+}
+
+/// Open `path` for writing (truncate) or throw FileError{kWrite}.
+[[nodiscard]] inline std::ofstream open_output_file(const std::string& path,
+                                                    const std::string& what) {
+  std::ofstream out(path);
+  if (!out) {
+    const int err = errno;
+    throw FileError(
+        FileError::Kind::kWrite, path,
+        "cannot write " + what + ": " + path + " (" +
+            (err != 0 ? detail::errno_text(err) : std::string("open failed")) +
+            ")");
+  }
+  return out;
+}
+
+/// Throw FileError{kWrite} if `out` is in a failed state after writing.
+inline void require_write_ok(const std::ofstream& out, const std::string& path,
+                             const std::string& what) {
+  if (!out) {
+    throw FileError(FileError::Kind::kWrite, path,
+                    "IO error writing " + what + ": " + path);
+  }
+}
+
+}  // namespace starlab::io

@@ -1,0 +1,19 @@
+#include "io/model_io.hpp"
+
+#include "io/file_util.hpp"
+
+namespace starlab::io {
+
+void save_forest_file(const std::string& path,
+                      const ml::RandomForest& forest) {
+  std::ofstream out = open_output_file(path, "forest model");
+  forest.save(out);
+  require_write_ok(out, path, "forest model");
+}
+
+ml::RandomForest load_forest_file(const std::string& path) {
+  std::ifstream in = open_input_file(path, "forest model");
+  return ml::RandomForest::load(in);
+}
+
+}  // namespace starlab::io

@@ -1,0 +1,24 @@
+#pragma once
+
+// File-level wrappers around the ml:: model release format.
+//
+// RandomForest knows how to (de)serialize itself on streams; this adds the
+// path-taking helpers every other artifact already has, with the same
+// classified FileError behavior (missing vs unreadable vs empty) so a
+// service that loads a model at startup can tell a bad deploy from a bad
+// filesystem.
+
+#include <string>
+
+#include "ml/random_forest.hpp"
+
+namespace starlab::io {
+
+/// Write the forest's release format to `path` (truncates).
+void save_forest_file(const std::string& path, const ml::RandomForest& forest);
+
+/// Load a forest written by save_forest_file. Throws FileError for file
+/// problems, std::runtime_error for a malformed stream.
+[[nodiscard]] ml::RandomForest load_forest_file(const std::string& path);
+
+}  // namespace starlab::io

@@ -265,6 +265,12 @@ obs::RunReport report_from_json(const JsonValue& obj) {
   r.quality = get_count_map(obj, "quality");
   r.abstain_reasons = get_count_map(obj, "abstain_reasons");
   r.fault_plan = get_string(obj, "fault_plan");
+  if (const JsonValue* events = obj.find("events");
+      events != nullptr && events->type == JsonValue::Type::kArray) {
+    for (const JsonValue& e : events->array) {
+      if (e.type == JsonValue::Type::kString) r.events.push_back(e.string);
+    }
+  }
   if (const JsonValue* values = obj.find("values");
       values != nullptr && values->type == JsonValue::Type::kObject) {
     for (const auto& [n, v] : values->object) r.add_value(n, v.number);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "io/csv.hpp"
+#include "io/file_util.hpp"
 
 namespace starlab::io {
 
@@ -68,15 +69,13 @@ measurement::RttSeries load_rtt_series(std::istream& in) {
 
 void save_rtt_series_file(const std::string& path,
                           const measurement::RttSeries& series) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write RTT CSV: " + path);
+  std::ofstream out = open_output_file(path, "RTT CSV");
   save_rtt_series(out, series);
-  if (!out) throw std::runtime_error("IO error writing RTT CSV: " + path);
+  require_write_ok(out, path, "RTT CSV");
 }
 
 measurement::RttSeries load_rtt_series_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open RTT CSV: " + path);
+  std::ifstream in = open_input_file(path, "RTT CSV");
   return load_rtt_series(in);
 }
 

@@ -74,6 +74,7 @@ void RunReport::absorb(const RunReport& other) {
   for (const auto& [n, c] : other.quality) bump(quality, n, c);
   for (const auto& [n, c] : other.abstain_reasons) bump(abstain_reasons, n, c);
   for (const auto& [n, v] : other.values) add_value(n, value_or(n, 0.0) + v);
+  events.insert(events.end(), other.events.begin(), other.events.end());
   if (fault_plan.empty()) fault_plan = other.fault_plan;
 }
 
@@ -131,6 +132,12 @@ std::string RunReport::to_json() const {
   w.end_object();
   w.key("fault_plan");
   w.value(fault_plan);
+  if (!events.empty()) {
+    w.key("events");
+    w.begin_array();
+    for (const std::string& e : events) w.value(e);
+    w.end_array();
+  }
   w.key("values");
   w.begin_object();
   for (const auto& [n, v] : values) {

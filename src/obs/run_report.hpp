@@ -51,6 +51,10 @@ struct RunReport {
   std::string fault_plan;
   /// Free-form named numbers (accuracy variants, ns/op, config knobs...).
   std::vector<std::pair<std::string, double>> values;
+  /// Chronological resilience decisions ("retry shard=3 attempt=2", "degrade
+  /// level=shed_observability", ...). Serialized only when non-empty, so
+  /// reports from unsupervised runs keep their historical byte shape.
+  std::vector<std::string> events;
 
   /// Find-or-create a stage by name.
   StageStat& stage(std::string_view name);

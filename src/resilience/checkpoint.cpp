@@ -1,0 +1,160 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "io/journal_io.hpp"
+
+namespace starlab::resilience {
+
+namespace {
+
+/// Bit-exact double encoding: C99 hexfloat round-trips through strtod
+/// without loss, unlike any decimal precision.
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Token-stream reader for the space-delimited payloads.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view payload) : in_(std::string(payload)) {}
+
+  bool next(std::string& token) { return static_cast<bool>(in_ >> token); }
+
+  bool next_u64(std::uint64_t& out) {
+    std::string t;
+    if (!next(t) || t.empty()) return false;
+    char* end = nullptr;
+    out = std::strtoull(t.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  }
+
+  bool next_i64(std::int64_t& out) {
+    std::string t;
+    if (!next(t) || t.empty()) return false;
+    char* end = nullptr;
+    out = std::strtoll(t.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  }
+
+  bool next_double(double& out) {
+    std::string t;
+    if (!next(t) || t.empty()) return false;
+    char* end = nullptr;
+    out = std::strtod(t.c_str(), &end);  // accepts hexfloat
+    return end != nullptr && *end == '\0';
+  }
+
+  bool done() {
+    std::string t;
+    return !(in_ >> t);
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+std::string encode_campaign_header(const core::Scenario& scenario,
+                                   const core::CampaignConfig& config,
+                                   std::size_t shard_slots) {
+  std::ostringstream out;
+  out << "H1"
+      << " records=" << core::campaign_recorded_slots(scenario, config)
+      << " terminals=" << scenario.terminals().size()
+      << " first_slot=" << scenario.first_slot()
+      << " period=" << hexfloat(scenario.grid().period_seconds())
+      << " duration=" << hexfloat(config.duration_hours)
+      << " offset=" << hexfloat(config.start_offset_hours)
+      << " stride=" << config.slot_stride << " shard=" << shard_slots;
+  const fault::FaultPlan& plan = config.faults.has_value()
+                                     ? *config.faults
+                                     : scenario.fault_plan();
+  // The plan text is multi-line; its CRC keeps the header single-line while
+  // still catching a resume under a different fault plan.
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x",
+                io::crc32(fault::format_fault_plan(plan)));
+  out << " plan_crc=" << crc;
+  return std::move(out).str();
+}
+
+std::string encode_shard(std::size_t shard_index,
+                         const std::vector<core::SlotObs>& rows) {
+  std::ostringstream out;
+  out << "S1 " << shard_index << ' ' << rows.size();
+  for (const core::SlotObs& r : rows) {
+    out << " R " << r.slot << ' ' << r.terminal_index << ' '
+        << hexfloat(r.unix_mid) << ' ' << hexfloat(r.local_hour) << ' '
+        << r.chosen << ' ' << r.quality << ' ' << hexfloat(r.confidence)
+        << ' ' << r.available.size();
+    for (const core::CandidateObs& c : r.available) {
+      out << ' ' << c.norad_id << ' ' << hexfloat(c.azimuth_deg) << ' '
+          << hexfloat(c.elevation_deg) << ' ' << hexfloat(c.age_days) << ' '
+          << (c.sunlit ? 1 : 0);
+    }
+  }
+  return std::move(out).str();
+}
+
+std::optional<DecodedShard> decode_shard(std::string_view payload) {
+  TokenReader in(payload);
+  std::string magic;
+  if (!in.next(magic) || magic != "S1") return std::nullopt;
+  DecodedShard shard;
+  std::uint64_t shard_index = 0;
+  std::uint64_t num_rows = 0;
+  if (!in.next_u64(shard_index) || !in.next_u64(num_rows)) return std::nullopt;
+  shard.shard_index = static_cast<std::size_t>(shard_index);
+  shard.rows.reserve(static_cast<std::size_t>(num_rows));
+  for (std::uint64_t i = 0; i < num_rows; ++i) {
+    std::string marker;
+    if (!in.next(marker) || marker != "R") return std::nullopt;
+    core::SlotObs row;
+    std::int64_t slot = 0;
+    std::uint64_t terminal = 0;
+    std::int64_t chosen = 0;
+    std::uint64_t quality = 0;
+    std::uint64_t num_candidates = 0;
+    if (!in.next_i64(slot) || !in.next_u64(terminal) ||
+        !in.next_double(row.unix_mid) || !in.next_double(row.local_hour) ||
+        !in.next_i64(chosen) || !in.next_u64(quality) ||
+        !in.next_double(row.confidence) || !in.next_u64(num_candidates)) {
+      return std::nullopt;
+    }
+    row.slot = static_cast<time::SlotIndex>(slot);
+    row.terminal_index = static_cast<std::size_t>(terminal);
+    row.chosen = static_cast<int>(chosen);
+    row.quality = static_cast<std::uint32_t>(quality);
+    row.available.reserve(static_cast<std::size_t>(num_candidates));
+    for (std::uint64_t c = 0; c < num_candidates; ++c) {
+      core::CandidateObs cand;
+      std::int64_t norad = 0;
+      std::uint64_t sunlit = 0;
+      if (!in.next_i64(norad) || !in.next_double(cand.azimuth_deg) ||
+          !in.next_double(cand.elevation_deg) ||
+          !in.next_double(cand.age_days) || !in.next_u64(sunlit)) {
+        return std::nullopt;
+      }
+      cand.norad_id = static_cast<int>(norad);
+      cand.sunlit = sunlit != 0;
+      row.available.push_back(cand);
+    }
+    // chosen must index `available` or be -1.
+    if (row.chosen != -1 &&
+        (row.chosen < 0 ||
+         row.chosen >= static_cast<int>(row.available.size()))) {
+      return std::nullopt;
+    }
+    shard.rows.push_back(std::move(row));
+  }
+  if (!in.done()) return std::nullopt;
+  return shard;
+}
+
+}  // namespace starlab::resilience

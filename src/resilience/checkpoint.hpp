@@ -1,0 +1,45 @@
+#pragma once
+
+// Journal payload codec for campaign checkpoints.
+//
+// A campaign journal holds one header record (identifying the scenario
+// shape and campaign config the shards belong to) followed by one record
+// per completed slot shard. Shard payloads carry full SlotObs rows with
+// doubles encoded as C99 hexfloats ("%a"), so a decoded row is bit-for-bit
+// the row that was computed — the resume path's byte-identity guarantee
+// rests on this round trip. Payloads are single-line, space-delimited
+// token streams; integrity is the journal frame's CRC, so the codec only
+// validates structure.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace starlab::resilience {
+
+/// Header payload for a campaign journal. Two configs produce the same
+/// header iff they shard identically, so a resume against the wrong
+/// journal is caught by string comparison.
+[[nodiscard]] std::string encode_campaign_header(
+    const core::Scenario& scenario, const core::CampaignConfig& config,
+    std::size_t shard_slots);
+
+/// Shard payload: the rows of recorded-slot shard `shard_index`.
+[[nodiscard]] std::string encode_shard(std::size_t shard_index,
+                                       const std::vector<core::SlotObs>& rows);
+
+struct DecodedShard {
+  std::size_t shard_index = 0;
+  std::vector<core::SlotObs> rows;
+};
+
+/// Decode a shard payload; nullopt when the payload is not a structurally
+/// valid shard record (a CRC-valid record of some other journal, say).
+[[nodiscard]] std::optional<DecodedShard> decode_shard(
+    std::string_view payload);
+
+}  // namespace starlab::resilience

@@ -1,0 +1,140 @@
+#pragma once
+
+// Supervised task execution: bounded retry, deadline watchdog, quarantine,
+// and a graceful-degradation ladder — the run-forever layer under campaign
+// and pipeline execution.
+//
+// A Supervisor wraps the individual failure-prone units of a long run (slot
+// shards, per-terminal pipeline passes). Each unit gets up to max_attempts
+// tries; between tries the supervisor backs off exponentially with a
+// *deterministic* seeded jitter (counter-based hash of (seed, task,
+// attempt) — no wall-clock randomness, so a replayed run backs off
+// identically), and each attempt runs under a cooperative deadline token.
+// A unit that exhausts its attempts is quarantined: the run continues and
+// the unit degrades to a flagged gap instead of stalling everything.
+//
+// Sustained fault storms move the supervisor down a load-shedding ladder
+// driven by the cumulative failure count:
+//
+//   kNone -> kShedObservability -> kWidenGrid -> kAbstain
+//
+// Shed observability first (stage-timing merges, per-append fsync), then
+// halve the slot grid (every 2nd record becomes a flagged gap), then stop
+// attempting shards at all. Every decision lands in the event log (and from
+// there in RunReport.events) and in the resilience.* metrics.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "fault/injectors.hpp"
+
+namespace starlab::resilience {
+
+/// Load-shedding rungs, in shedding order.
+enum class DegradeLevel : int {
+  kNone = 0,
+  kShedObservability = 1,  ///< drop trace/stage merges and journal fsync
+  kWidenGrid = 2,          ///< compute every 2nd record, flag the rest
+  kAbstain = 3,            ///< stop attempting; everything becomes a gap
+};
+
+[[nodiscard]] const char* degrade_level_name(DegradeLevel level);
+
+struct SupervisorConfig {
+  /// Attempts per task before quarantine (>= 1).
+  int max_attempts = 3;
+  /// Per-attempt watchdog deadline [s]; <= 0 disables the watchdog.
+  double task_deadline_sec = 0.0;
+  /// Base backoff before attempt 2 [ms]; doubles per further attempt, with
+  /// deterministic jitter in [0.5, 1.0]. 0 retries immediately (the right
+  /// default for compute-bound simulated faults).
+  double backoff_base_ms = 0.0;
+  double backoff_max_ms = 2000.0;
+  /// Seed for the backoff jitter hash (independent of the fault plan seed).
+  std::uint64_t seed = 2311;
+
+  /// Cumulative failed attempts that trip each ladder rung; <= 0 disables
+  /// the rung. Thresholds should be non-decreasing.
+  int shed_obs_failures = 8;
+  int widen_grid_failures = 16;
+  int abstain_failures = 32;
+
+  /// Start the failure counter here instead of 0 — an operational override
+  /// (resume a run already known to be degraded at the rung its failure
+  /// count implies) and the deterministic way for tests to exercise a
+  /// ladder rung without racing a fault storm. Rungs already tripped by
+  /// this value are not re-announced in the event log.
+  std::uint64_t initial_failures = 0;
+
+  /// Fault plan consulted per (task, attempt) to *simulate* task crashes
+  /// (exec.task_fail_rate). Real exceptions from the task body are handled
+  /// identically; this injector exists so chaos tests can drive storms.
+  fault::FaultPlan faults;
+};
+
+/// What happened to one supervised task.
+struct TaskOutcome {
+  bool ok = false;
+  bool quarantined = false;
+  int attempts = 0;    ///< attempts actually made
+  std::string error;   ///< last failure reason ("" when clean)
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+
+  /// Run `body` under supervision. `task_key` identifies the unit (shard or
+  /// terminal index) for fault injection, backoff jitter and the event log.
+  /// The body receives the attempt's armed cancel token — poll it — and the
+  /// degradation level in force when the attempt started. Thread-safe: the
+  /// shard runner calls this concurrently from the exec pool.
+  TaskOutcome run(
+      std::uint64_t task_key,
+      const std::function<void(const exec::CancelToken&, DegradeLevel)>& body);
+
+  /// Current ladder rung (monotone non-decreasing over a supervisor's life).
+  [[nodiscard]] DegradeLevel level() const;
+
+  [[nodiscard]] std::uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic backoff delay before `attempt` (2-based) of `task_key`,
+  /// in milliseconds. Exposed for tests; run() sleeps this exact amount.
+  [[nodiscard]] double backoff_ms(std::uint64_t task_key, int attempt) const;
+
+  /// Chronological decision log (copies under the lock).
+  [[nodiscard]] std::vector<std::string> events() const;
+
+  [[nodiscard]] const SupervisorConfig& config() const { return config_; }
+
+ private:
+  void note(std::string event);
+  /// Re-derive the rung for a cumulative failure count.
+  [[nodiscard]] DegradeLevel level_for(std::uint64_t failures) const;
+  void record_failure(std::uint64_t task_key, int attempt,
+                      const std::string& why, bool will_retry);
+
+  SupervisorConfig config_;
+  fault::TaskFaultInjector injector_;
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  mutable std::mutex mu_;
+  std::vector<std::string> events_;
+  int last_noted_level_ = 0;  ///< guarded by mu_; dedups ladder events
+};
+
+}  // namespace starlab::resilience

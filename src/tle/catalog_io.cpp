@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/file_util.hpp"
+
 namespace starlab::tle {
 
 namespace {
@@ -92,8 +94,7 @@ std::vector<Tle> read_catalog_string(const std::string& text) {
 }
 
 std::vector<Tle> load_catalog_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open TLE catalog: " + path);
+  std::ifstream in = io::open_input_file(path, "TLE catalog");
   return read_catalog(in);
 }
 
@@ -110,8 +111,7 @@ std::vector<Tle> read_catalog_string_lenient(const std::string& text,
 
 std::vector<Tle> load_catalog_file_lenient(const std::string& path,
                                            io::ParseReport& report) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open TLE catalog: " + path);
+  std::ifstream in = io::open_input_file(path, "TLE catalog");
   return read_catalog_lenient(in, report);
 }
 
@@ -124,10 +124,9 @@ void write_catalog(std::ostream& out, const std::vector<Tle>& catalog) {
 
 void save_catalog_file(const std::string& path,
                        const std::vector<Tle>& catalog) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write TLE catalog: " + path);
+  std::ofstream out = io::open_output_file(path, "TLE catalog");
   write_catalog(out, catalog);
-  if (!out) throw std::runtime_error("IO error writing TLE catalog: " + path);
+  io::require_write_ok(out, path, "TLE catalog");
 }
 
 }  // namespace starlab::tle

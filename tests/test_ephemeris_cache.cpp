@@ -88,6 +88,62 @@ TEST(EphemerisCache, AdjacentWindowKeepsRecentEntriesAlive) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
+TEST(EphemerisCache, SustainedBackwardStepInvalidatesAbandonedGeneration) {
+  // Clock steps back exactly one generation and stays there (a host clock
+  // correction mid-run). The shard must not serve around the abandoned
+  // future generation forever: after a sustained streak of backward queries
+  // it evicts `current` and regresses its window, so the stale future
+  // entries are dropped and the shard's window tracks the real clock again.
+  const EphemerisCache cache(tiny_scenario().catalog(), 0.25, 4.0);
+  const double t0 = std::floor(on_grid_time() / 4.0) * 4.0;
+  const auto jd_past = time::JulianDate::from_unix_seconds(t0);
+  const auto jd_future = time::JulianDate::from_unix_seconds(t0 + 4.0);
+  // Populate the future generation across every shard (shard selection
+  // hashes the satellite index and the exact instant, so many satellites
+  // are needed to cover all 16 shards).
+  constexpr std::size_t kSats = 200;
+  for (std::size_t i = 0; i < kSats; ++i) {
+    (void)cache.position_teme(i, jd_future);
+  }
+  const std::uint64_t future_entries = cache.size();
+  EXPECT_EQ(future_entries, kSats);
+  // The clock now runs backwards for good: sustained sweeps of
+  // behind-window queries (never an at-window one, so no streak resets)
+  // must make every shard evict its abandoned future generation.
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    for (std::size_t i = 0; i < kSats; ++i) {
+      (void)cache.position_teme(i, jd_past);
+    }
+  }
+  EXPECT_GE(cache.stats().evictions, future_entries / 2);
+  // The future instant this satellite cached was invalidated: asking for
+  // it again is a miss, not a stale-generation hit.
+  const std::uint64_t misses_before = cache.stats().misses;
+  (void)cache.position_teme(0, jd_future);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(EphemerisCache, BriefBackwardStraddleDoesNotEvict) {
+  // The benign case the hysteresis must preserve: parallel chunks straddle
+  // a generation boundary, interleaving at-window and behind-window
+  // queries. Short backward runs keep hitting the previous generation and
+  // never trip the regression eviction.
+  const EphemerisCache cache(tiny_scenario().catalog(), 0.25, 4.0);
+  const double t0 = std::floor(on_grid_time() / 4.0) * 4.0;
+  const auto jd_past = time::JulianDate::from_unix_seconds(t0);
+  const auto jd_now = time::JulianDate::from_unix_seconds(t0 + 4.0);
+  (void)cache.position_teme(0, jd_past);  // miss, window w
+  (void)cache.position_teme(0, jd_now);   // miss, rotates to w+1
+  for (int i = 0; i < 200; ++i) {
+    (void)cache.position_teme(0, jd_past);  // behind-window hit
+    (void)cache.position_teme(0, jd_now);   // at-window hit resets the streak
+  }
+  const EphemerisCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 400u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
 TEST(EphemerisCache, FarAdvanceEvictsStaleEntries) {
   const Catalog& catalog = tiny_scenario().catalog();
   const EphemerisCache cache(catalog, 0.25, 4.0);
