@@ -79,15 +79,15 @@ int main(int argc, char** argv) {
   const auto& catalog = scenario.catalog();
   for (std::size_t i = 0; i < catalog.size(); i += 7) {  // thin for legibility
     const geo::Geodetic sp = catalog.ephemeris(i).subpoint(jd);
-    map.plot(sp.latitude_deg, sp.longitude_deg, 's');
+    map.plot(geo::Deg(sp.latitude_deg), geo::Deg(sp.longitude_deg), 's');
   }
   const ground::GatewayNetwork network =
       ground::GatewayNetwork::paper_region_network();
   for (const ground::Gateway& g : network.gateways()) {
-    map.plot(g.site.latitude_deg, g.site.longitude_deg, 'G');
+    map.plot(geo::Deg(g.site.latitude_deg), geo::Deg(g.site.longitude_deg), 'G');
   }
   for (const ground::Terminal& t : scenario.terminals()) {
-    map.plot(t.site().latitude_deg, t.site().longitude_deg, 'T');
+    map.plot(geo::Deg(t.site().latitude_deg), geo::Deg(t.site().longitude_deg), 'T');
   }
   std::printf("%s", map.render().c_str());
   return 0;

@@ -1,36 +1,54 @@
 #!/usr/bin/env bash
-# starlab lint gate: clang-tidy (when available) + grep-lint rules that
-# clang-tidy cannot express. CI runs this as the `lint` job; locally it
+# starlab lint gate: starlint (the project's own analyzer, tools/starlint)
+# plus clang-tidy when available. CI runs this as the `lint` job; locally it
 # degrades gracefully on toolchains without clang-tidy (gcc-only containers).
 #
-# Usage: scripts/lint.sh [build-dir]   (default: build)
+# starlint replaced the old grep-lint: the raw unit-suffixed double rule now
+# lives in tools/starlint (rule `raw-unit-double`) with its baseline in
+# tools/starlint/baseline.json, alongside the layering and determinism
+# rules. See docs/STATIC_ANALYSIS.md.
+#
+# Usage: scripts/lint.sh [build-dir]        (default: build)
+#        scripts/lint.sh --write-baseline   (regenerate the starlint baseline)
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN='double[[:space:]]+[A-Za-z_]*_(deg|rad|km)\b'
-current_counts() {
-  grep -rEc "${PATTERN}" src --include='*.hpp' --include='*.cpp' 2>/dev/null |
-    awk -F: '$2 > 0 && $1 !~ /^src\/geo\// {print $1" "$2}' | sort
-}
+BUILD_DIR="build"
+WRITE_BASELINE=0
+case "${1:-}" in
+  --write-baseline) WRITE_BASELINE=1 ;;
+  "") ;;
+  *) BUILD_DIR="$1" ;;
+esac
 
-if [ "${1:-}" = "--write-baseline" ]; then
-  current_counts > scripts/lint_baseline.txt
-  echo "lint: baseline rewritten (scripts/lint_baseline.txt)"
-  exit 0
-fi
-
-BUILD_DIR="${1:-build}"
 STATUS=0
 
 # ---------------------------------------------------------------------------
-# 1. clang-tidy over the compilation database (skipped if not installed).
+# 1. starlint: layering DAG, determinism bans, API hygiene (always runs —
+#    it builds with the project toolchain, no clang needed).
+# ---------------------------------------------------------------------------
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint: configuring ${BUILD_DIR} for compile_commands.json"
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+fi
+cmake --build "${BUILD_DIR}" --target starlint -j "$(nproc)" >/dev/null || exit 1
+STARLINT="${BUILD_DIR}/tools/starlint/starlint"
+
+if [ "${WRITE_BASELINE}" -eq 1 ]; then
+  "${STARLINT}" --root . --compdb "${BUILD_DIR}/compile_commands.json" \
+    --write-baseline
+  exit $?
+fi
+
+echo "lint: starlint (tools/starlint)"
+"${STARLINT}" --root . --compdb "${BUILD_DIR}/compile_commands.json" \
+  --sarif "${BUILD_DIR}/starlint.sarif" || STATUS=1
+
+# ---------------------------------------------------------------------------
+# 2. clang-tidy over the compilation database (skipped if not installed).
 # ---------------------------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
-  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
-    echo "lint: generating compile_commands.json in ${BUILD_DIR}"
-    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  fi
   echo "lint: clang-tidy ($(clang-tidy --version | head -n1))"
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cpp$" || STATUS=1
@@ -41,42 +59,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     done < <(find src -name '*.cpp' | sort)
   fi
 else
-  echo "lint: clang-tidy not installed; skipping static analysis" \
-       "(grep-lint still enforced)"
-fi
-
-# ---------------------------------------------------------------------------
-# 2. grep-lint: no NEW raw angle/distance-typed double parameters or fields
-#    outside src/geo. Existing occurrences are frozen in
-#    scripts/lint_baseline.txt (per-file counts); a file may only shrink.
-#    The fix for a violation is a geo::Deg/Rad/Km parameter, not a baseline
-#    bump — bump only when deliberately keeping a serialized raw field.
-# ---------------------------------------------------------------------------
-BASELINE="scripts/lint_baseline.txt"
-
-if [ ! -f "${BASELINE}" ]; then
-  echo "lint: FAIL — missing ${BASELINE}; regenerate with:"
-  echo "  scripts/lint.sh --write-baseline"
-  exit 1
-fi
-
-GREP_FAIL=0
-while IFS=' ' read -r file count; do
-  [ -z "${file}" ] && continue
-  baseline_count=$(awk -v f="${file}" '$1 == f {print $2}' "${BASELINE}")
-  baseline_count=${baseline_count:-0}
-  if [ "${count}" -gt "${baseline_count}" ]; then
-    echo "lint: FAIL ${file}: ${count} raw 'double *_deg/_rad/_km'" \
-         "declarations (baseline ${baseline_count})."
-    echo "      Use geo::Deg / geo::Rad / geo::Km instead (src/geo/units.hpp)."
-    GREP_FAIL=1
-  fi
-done < <(current_counts)
-
-if [ "${GREP_FAIL}" -ne 0 ]; then
-  STATUS=1
-else
-  echo "lint: grep-lint clean (raw unit-suffixed doubles at or below baseline)"
+  echo "lint: clang-tidy not installed; skipping (starlint still enforced)"
 fi
 
 exit "${STATUS}"

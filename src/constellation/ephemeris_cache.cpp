@@ -76,7 +76,7 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
   const std::int64_t window = tick / window_ticks_;
 
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const check::MutexLock lock(shard.mu);
     if (window > shard.window || window < shard.window - 1) {
       // Advance: current becomes previous (adjacent window) or everything is
       // stale. Regression far into the past (a fresh run restarting at the
@@ -139,7 +139,7 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
   CacheMetrics::get().misses.add();
 
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const check::MutexLock lock(shard.mu);
     if (window == shard.window) {
       shard.current.emplace(key, entry);
     } else if (window == shard.window - 1) {
@@ -185,7 +185,7 @@ EphemerisCache::Stats EphemerisCache::stats() const {
 
 void EphemerisCache::clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const check::MutexLock lock(shard.mu);
     shard.current.clear();
     shard.previous.clear();
     shard.window = INT64_MIN;
@@ -196,7 +196,7 @@ void EphemerisCache::clear() {
 std::size_t EphemerisCache::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const check::MutexLock lock(shard.mu);
     n += shard.current.size() + shard.previous.size();
   }
   return n;

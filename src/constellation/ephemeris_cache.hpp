@@ -25,9 +25,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "check/thread_annotations.hpp"
 #include "constellation/catalog.hpp"
 
 namespace starlab::constellation {
@@ -76,15 +76,17 @@ class EphemerisCache {
   static constexpr std::size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Entry> current, previous;
-    std::int64_t window = INT64_MIN;  ///< generation id of `current`
+    mutable check::Mutex mu;
+    std::unordered_map<std::uint64_t, Entry> current GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, Entry> previous GUARDED_BY(mu);
+    /// Generation id of `current`.
+    std::int64_t window GUARDED_BY(mu) = INT64_MIN;
     /// Consecutive queries one window behind `window`. A brief straddle
     /// (parallel chunks interleaving across a boundary) stays small; a
     /// sustained streak means the clock actually stepped backwards and the
     /// shard must regress instead of serving around an abandoned future
-    /// generation. Guarded by `mu`.
-    int regress_streak = 0;
+    /// generation.
+    int regress_streak GUARDED_BY(mu) = 0;
   };
 
   /// Backward-straddle queries tolerated before the shard concludes the

@@ -1,9 +1,9 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "check/contracts.hpp"
+#include "check/thread_annotations.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injectors.hpp"
@@ -165,7 +165,18 @@ CampaignData run_campaign(const Scenario& scenario,
   }
   std::vector<std::vector<SlotObs>> per_slot(slot_ids.size());
 
-  std::mutex stages_mu;  ///< guards the shared StageStats during chunk merge
+  // Chunk workers merge their local stage clocks into the shared report
+  // StageStats through these guarded pointers, so the report never sees
+  // concurrent writes.
+  struct StageMerge {
+    check::Mutex mu;
+    obs::StageStat* propagate PT_GUARDED_BY(mu) = nullptr;
+    obs::StageStat* candidates PT_GUARDED_BY(mu) = nullptr;
+    obs::StageStat* allocate PT_GUARDED_BY(mu) = nullptr;
+  } stages;
+  stages.propagate = st_propagate;
+  stages.candidates = st_candidates;
+  stages.allocate = st_allocate;
   exec::default_pool().parallel_for_chunks(
       slot_ids.size(), [&](std::size_t begin, std::size_t end) {
         // Per-chunk stage clocks, merged once at chunk end so the shared
@@ -239,13 +250,13 @@ CampaignData run_campaign(const Scenario& scenario,
         }
 
         if (timed) {
-          const std::lock_guard<std::mutex> lock(stages_mu);
-          st_propagate->wall_ns += local_propagate.wall_ns;
-          st_propagate->calls += local_propagate.calls;
-          st_candidates->wall_ns += local_candidates.wall_ns;
-          st_candidates->calls += local_candidates.calls;
-          st_allocate->wall_ns += local_allocate.wall_ns;
-          st_allocate->calls += local_allocate.calls;
+          const check::MutexLock lock(stages.mu);
+          stages.propagate->wall_ns += local_propagate.wall_ns;
+          stages.propagate->calls += local_propagate.calls;
+          stages.candidates->wall_ns += local_candidates.wall_ns;
+          stages.candidates->calls += local_candidates.calls;
+          stages.allocate->wall_ns += local_allocate.wall_ns;
+          stages.allocate->calls += local_allocate.calls;
         }
       });
 

@@ -59,7 +59,7 @@ ThreadPool::ThreadPool(Config config)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const check::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -73,8 +73,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      const check::MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -87,7 +87,7 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::run_one_task() {
   std::function<void()> task;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const check::MutexLock lock(mu_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop_front();
@@ -117,13 +117,16 @@ void ThreadPool::parallel_for_chunks(
   // shared_ptr so a task popped by a concurrent caller's assist loop stays
   // valid even in edge cases; `pending` gates the caller's return.
   struct Sync {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t pending = 0;
-    std::exception_ptr error;
+    check::Mutex mu;
+    check::CondVar cv;
+    std::size_t pending GUARDED_BY(mu) = 0;
+    std::exception_ptr error GUARDED_BY(mu);
   };
   auto sync = std::make_shared<Sync>();
-  sync->pending = chunks - 1;
+  {
+    const check::MutexLock lock(sync->mu);
+    sync->pending = chunks - 1;
+  }
 
   const auto run_chunk = [&metrics, &body, n,
                           chunks](std::size_t chunk_index) {
@@ -135,17 +138,17 @@ void ThreadPool::parallel_for_chunks(
   };
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const check::MutexLock lock(mu_);
     for (std::size_t c = 1; c < chunks; ++c) {
       tasks_.emplace_back([sync, run_chunk, c] {
         try {
           run_chunk(c);
         } catch (...) {
-          const std::lock_guard<std::mutex> slock(sync->mu);
+          const check::MutexLock slock(sync->mu);
           if (!sync->error) sync->error = std::current_exception();
         }
         {
-          const std::lock_guard<std::mutex> slock(sync->mu);
+          const check::MutexLock slock(sync->mu);
           --sync->pending;
         }
         sync->cv.notify_all();
@@ -160,22 +163,22 @@ void ThreadPool::parallel_for_chunks(
   try {
     run_chunk(0);
   } catch (...) {
-    const std::lock_guard<std::mutex> slock(sync->mu);
+    const check::MutexLock slock(sync->mu);
     if (!sync->error) sync->error = std::current_exception();
   }
   while (run_one_task()) {
   }
   {
-    std::unique_lock<std::mutex> lock(sync->mu);
-    sync->cv.wait(lock, [&sync] { return sync->pending == 0; });
+    const check::MutexLock lock(sync->mu);
+    while (sync->pending != 0) sync->cv.wait(sync->mu);
     if (sync->error) std::rethrow_exception(sync->error);
   }
 }
 
 namespace {
 
-std::mutex g_default_mu;
-std::unique_ptr<ThreadPool> g_default_pool;
+check::Mutex g_default_mu;
+std::unique_ptr<ThreadPool> g_default_pool GUARDED_BY(g_default_mu);
 
 Config config_from_env() {
   Config config;
@@ -188,7 +191,7 @@ Config config_from_env() {
 }  // namespace
 
 ThreadPool& default_pool() {
-  const std::lock_guard<std::mutex> lock(g_default_mu);
+  const check::MutexLock lock(g_default_mu);
   if (!g_default_pool) {
     g_default_pool = std::make_unique<ThreadPool>(config_from_env());
   }
@@ -196,7 +199,7 @@ ThreadPool& default_pool() {
 }
 
 void configure(const Config& config) {
-  const std::lock_guard<std::mutex> lock(g_default_mu);
+  const check::MutexLock lock(g_default_mu);
   g_default_pool = std::make_unique<ThreadPool>(config);
 }
 

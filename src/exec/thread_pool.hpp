@@ -15,13 +15,13 @@
 // calls (from inside a worker) also run inline, so composed layers — a
 // campaign slot that itself calls Catalog::propagate_all — never deadlock.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/thread_annotations.hpp"
 
 namespace starlab::exec {
 
@@ -49,7 +49,8 @@ class ThreadPool {
   /// exception thrown by any chunk is rethrown on the caller after every
   /// chunk finished.
   void parallel_for_chunks(
-      std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& body)
+      EXCLUDES(mu_);
 
   /// Per-index convenience over parallel_for_chunks: f(i) for i in [0, n).
   template <typename F>
@@ -66,15 +67,15 @@ class ThreadPool {
  private:
   void worker_loop();
   /// Pop-and-run one queued task; false when the queue is empty.
-  bool run_one_task();
+  bool run_one_task() EXCLUDES(mu_);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  check::Mutex mu_;
+  check::CondVar cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool the hot paths (Catalog::propagate_all, the

@@ -5,8 +5,8 @@
 namespace starlab::ground {
 
 GatewayNetwork::GatewayNetwork(std::vector<Gateway> gateways,
-                               double min_elevation_deg)
-    : gateways_(std::move(gateways)), min_elevation_deg_(min_elevation_deg) {
+                               geo::Deg min_elevation)
+    : gateways_(std::move(gateways)), min_elevation_(min_elevation) {
   gateway_ecef_.reserve(gateways_.size());
   for (const Gateway& g : gateways_) {
     gateway_ecef_.push_back(geo::geodetic_to_ecef(g.site));
@@ -52,7 +52,7 @@ GatewayNetwork GatewayNetwork::sparse_network() {
 bool GatewayNetwork::has_gateway(const geo::EcefKm& sat_ecef_km) const {
   for (const Gateway& g : gateways_) {
     if (geo::look_angles(g.site, sat_ecef_km).elevation_deg >=
-        min_elevation_deg_) {
+        min_elevation_.value()) {
       return true;
     }
   }
@@ -63,7 +63,7 @@ int GatewayNetwork::visible_gateways(const geo::EcefKm& sat_ecef_km) const {
   int n = 0;
   for (const Gateway& g : gateways_) {
     if (geo::look_angles(g.site, sat_ecef_km).elevation_deg >=
-        min_elevation_deg_) {
+        min_elevation_.value()) {
       ++n;
     }
   }

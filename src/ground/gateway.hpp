@@ -17,6 +17,7 @@
 
 #include "geo/frame_vec.hpp"
 #include "geo/geodetic.hpp"
+#include "geo/units.hpp"
 #include "geo/vec3.hpp"
 #include "time/julian_date.hpp"
 
@@ -30,7 +31,7 @@ struct Gateway {
 class GatewayNetwork {
  public:
   explicit GatewayNetwork(std::vector<Gateway> gateways,
-                          double min_elevation_deg = 25.0);
+                          geo::Deg min_elevation = geo::Deg(25.0));
 
   /// A realistic 2023-era subset: ~20 gateways across CONUS and Western
   /// Europe (the regions serving the paper's terminals).
@@ -49,12 +50,12 @@ class GatewayNetwork {
   [[nodiscard]] const std::vector<Gateway>& gateways() const {
     return gateways_;
   }
-  [[nodiscard]] double min_elevation_deg() const { return min_elevation_deg_; }
+  [[nodiscard]] geo::Deg min_elevation() const { return min_elevation_; }
 
  private:
   std::vector<Gateway> gateways_;
   std::vector<geo::EcefKm> gateway_ecef_;
-  double min_elevation_deg_;
+  geo::Deg min_elevation_;
 };
 
 }  // namespace starlab::ground

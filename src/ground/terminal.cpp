@@ -10,11 +10,11 @@ std::vector<Candidate> Terminal::candidates(
     const constellation::Catalog& catalog, const time::JulianDate& jd) const {
   std::vector<Candidate> out;
   for (constellation::SkyEntry& e :
-       catalog.visible_from(config_.site, jd, config_.min_elevation_deg)) {
+       catalog.visible_from(config_.site, jd, config_.min_elevation.value())) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
-                                        config_.gso_protection_deg);
+                                        config_.gso_protection.value());
     c.sky = std::move(e);
     out.push_back(std::move(c));
   }
@@ -27,11 +27,11 @@ std::vector<Candidate> Terminal::candidates_from_snapshots(
     const time::JulianDate& jd) const {
   std::vector<Candidate> out;
   for (constellation::SkyEntry& e : catalog.visible_from_snapshots(
-           snapshots, config_.site, jd, config_.min_elevation_deg)) {
+           snapshots, config_.site, jd, config_.min_elevation.value())) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
-                                        config_.gso_protection_deg);
+                                        config_.gso_protection.value());
     c.sky = std::move(e);
     out.push_back(std::move(c));
   }

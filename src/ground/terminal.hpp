@@ -14,6 +14,7 @@
 #include "constellation/catalog.hpp"
 #include "geo/geodetic.hpp"
 #include "geo/gso_arc.hpp"
+#include "geo/units.hpp"
 #include "ground/obstruction_mask.hpp"
 
 namespace starlab::ground {
@@ -30,9 +31,9 @@ struct Candidate {
 struct TerminalConfig {
   std::string name = "terminal";
   geo::Geodetic site;
-  ObstructionMask mask;                 ///< local horizon profile
-  double min_elevation_deg = 25.0;      ///< hardware field-of-view limit
-  double gso_protection_deg = 12.0;     ///< half-width of the GSO exclusion
+  ObstructionMask mask;                         ///< local horizon profile
+  geo::Deg min_elevation = geo::Deg(25.0);      ///< hardware field-of-view limit
+  geo::Deg gso_protection = geo::Deg(12.0);     ///< half-width of the GSO exclusion
   geo::Geodetic pop_site;               ///< the Starlink PoP serving this region
 };
 
@@ -44,8 +45,8 @@ class Terminal {
   [[nodiscard]] const geo::Geodetic& site() const { return config_.site; }
   [[nodiscard]] const geo::Geodetic& pop_site() const { return config_.pop_site; }
   [[nodiscard]] const ObstructionMask& mask() const { return config_.mask; }
-  [[nodiscard]] double min_elevation_deg() const {
-    return config_.min_elevation_deg;
+  [[nodiscard]] geo::Deg min_elevation() const {
+    return config_.min_elevation;
   }
   [[nodiscard]] const geo::GsoArc& gso_arc() const { return *gso_arc_; }
 

@@ -34,8 +34,8 @@ double LatencyModel::propagation_ms(const ground::Terminal& terminal,
   const geo::LookAngles down =
       catalog_.look_at(allocation.catalog_index, terminal.pop_site(), jd);
 
-  const double one_way_km = up.range_km + down.range_km;
-  return 2.0 * one_way_km / geo::kSpeedOfLightKmPerSec * 1000.0;
+  const geo::Km one_way = geo::Km(up.range_km) + geo::Km(down.range_km);
+  return 2.0 * one_way.value() / geo::kSpeedOfLightKmPerSec * 1000.0;
 }
 
 double LatencyModel::rtt_ms(const ground::Terminal& terminal,
@@ -58,8 +58,8 @@ bool LatencyModel::lost(const ground::Terminal& terminal,
   // Loss rises as the serving satellite nears the elevation floor (longer
   // slant path, weaker link margin).
   const double el_norm =
-      std::clamp((allocation.look.elevation_deg - terminal.min_elevation_deg()) /
-                     (90.0 - terminal.min_elevation_deg()),
+      std::clamp((allocation.look.elevation_deg - terminal.min_elevation().value()) /
+                     (90.0 - terminal.min_elevation().value()),
                  0.0, 1.0);
   const double p = config_.base_loss_rate +
                    config_.low_elevation_loss_boost * (1.0 - el_norm);

@@ -4,12 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <istream>
-#include <mutex>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 
 #include "check/contracts.hpp"
+#include "check/thread_annotations.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace starlab::ml {
@@ -46,11 +46,14 @@ void RandomForest::fit(const Dataset& data) {
   // Out-of-bag vote tally: votes[i * classes + c]. Trees merge their votes
   // under a mutex; integer additions commute, so the final tally (and thus
   // oob_accuracy) is identical no matter which thread finishes first.
-  std::vector<int> oob_votes;
+  struct OobTally {
+    check::Mutex mu;
+    std::vector<int> votes GUARDED_BY(mu);
+  } oob;
   if (config_.compute_oob) {
-    oob_votes.assign(data.size() * static_cast<std::size_t>(num_classes_), 0);
+    const check::MutexLock lock(oob.mu);
+    oob.votes.assign(data.size() * static_cast<std::size_t>(num_classes_), 0);
   }
-  std::mutex oob_mu;
 
   // Each tree draws from its own splitmix64-derived stream, so tree t's
   // bootstrap sample and split choices depend only on (config.seed, t) —
@@ -81,14 +84,18 @@ void RandomForest::fit(const Dataset& data) {
             local[i * static_cast<std::size_t>(num_classes_) +
                   static_cast<std::size_t>(predicted)] += 1;
           }
-          const std::lock_guard<std::mutex> lock(oob_mu);
-          for (std::size_t i = 0; i < oob_votes.size(); ++i) {
-            oob_votes[i] += local[i];
+          const check::MutexLock lock(oob.mu);
+          for (std::size_t i = 0; i < oob.votes.size(); ++i) {
+            oob.votes[i] += local[i];
           }
         }
       });
 
   if (config_.compute_oob) {
+    // parallel_for has joined; the lock is uncontended and exists so the
+    // annotated tally is read the same way it was written.
+    const check::MutexLock lock(oob.mu);
+    const std::vector<int>& oob_votes = oob.votes;
     // Every tree casts at most one vote per row, so the tally can never
     // exceed rows x trees; more would mean the merge double-counted.
     STARLAB_INVARIANT(

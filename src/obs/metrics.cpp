@@ -11,7 +11,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 
 Counter MetricsRegistry::counter(const std::string& name,
                                  const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   for (detail::CounterCell& c : counters_) {
     if (c.name == name) return Counter(&c);
   }
@@ -22,7 +22,7 @@ Counter MetricsRegistry::counter(const std::string& name,
 }
 
 Gauge MetricsRegistry::gauge(const std::string& name, const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   for (detail::GaugeCell& g : gauges_) {
     if (g.name == name) return Gauge(&g);
   }
@@ -35,7 +35,7 @@ Gauge MetricsRegistry::gauge(const std::string& name, const std::string& help) {
 Histogram MetricsRegistry::histogram(const std::string& name,
                                      std::vector<double> upper_bounds,
                                      const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   for (detail::HistogramCell& h : histograms_) {
     if (h.name == name) return Histogram(&h);
   }
@@ -52,7 +52,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
 }
 
 void MetricsRegistry::reset_values() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   for (detail::CounterCell& c : counters_) {
     c.value.store(0, std::memory_order_relaxed);
   }
@@ -69,7 +69,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   std::string out;
   const auto header = [&out](const std::string& name, const std::string& help,
                              const char* type) {
@@ -106,7 +106,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   JsonWriter w;
   w.begin_object();
   w.key("counters");

@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/thread_annotations.hpp"
 #include "obs/config.hpp"
 
 namespace starlab::obs {
@@ -139,30 +139,35 @@ class MetricsRegistry {
   [[nodiscard]] static MetricsRegistry& instance();
 
   /// Find-or-create by name (idempotent; help is kept from the first call).
-  [[nodiscard]] Counter counter(const std::string& name, const std::string& help = {});
-  [[nodiscard]] Gauge gauge(const std::string& name, const std::string& help = {});
+  [[nodiscard]] Counter counter(const std::string& name,
+                                const std::string& help = {}) EXCLUDES(mu_);
+  [[nodiscard]] Gauge gauge(const std::string& name,
+                            const std::string& help = {}) EXCLUDES(mu_);
   /// `upper_bounds` must be ascending; re-registering an existing name
   /// returns the existing histogram (its original bounds win).
   [[nodiscard]] Histogram histogram(const std::string& name,
                       std::vector<double> upper_bounds,
-                      const std::string& help = {});
+                      const std::string& help = {}) EXCLUDES(mu_);
 
   /// Zero every value (registrations persist). Tests and run boundaries.
-  void reset_values();
+  void reset_values() EXCLUDES(mu_);
 
   /// Prometheus text exposition format (histograms with cumulative
   /// `le`-labeled buckets, `_sum` and `_count`).
-  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string prometheus_text() const EXCLUDES(mu_);
 
   /// The same content as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
-  [[nodiscard]] std::string json() const;
+  [[nodiscard]] std::string json() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;  ///< guards registration and export, never records
-  std::deque<detail::CounterCell> counters_;
-  std::deque<detail::GaugeCell> gauges_;
-  std::deque<detail::HistogramCell> histograms_;
+  /// Guards registration and export, never records: the handles the hot
+  /// path records through point at pointer-stable cells inside the guarded
+  /// deques and touch only the cells' atomics.
+  mutable check::Mutex mu_;
+  std::deque<detail::CounterCell> counters_ GUARDED_BY(mu_);
+  std::deque<detail::GaugeCell> gauges_ GUARDED_BY(mu_);
+  std::deque<detail::HistogramCell> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace starlab::obs

@@ -20,22 +20,22 @@ TraceRecorder& TraceRecorder::instance() {
 }
 
 void TraceRecorder::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   events_.clear();
 }
 
 std::size_t TraceRecorder::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   return events_;
 }
 
 void TraceRecorder::record(TraceEvent event) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 

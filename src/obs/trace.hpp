@@ -9,11 +9,11 @@
 // stage, per slot — never per pixel or per DTW cell).
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "check/thread_annotations.hpp"
 #include "obs/config.hpp"
 
 namespace starlab::obs {
@@ -35,20 +35,20 @@ class TraceRecorder {
   /// The process-wide recorder every ObsSpan reports to.
   [[nodiscard]] static TraceRecorder& instance();
 
-  void clear();
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear() EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
+  [[nodiscard]] std::vector<TraceEvent> events() const EXCLUDES(mu_);
 
   /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
   /// Timestamps are rebased to the earliest event and expressed in
   /// microseconds, events sorted by start time.
-  [[nodiscard]] std::string chrome_trace_json() const;
+  [[nodiscard]] std::string chrome_trace_json() const EXCLUDES(mu_);
 
-  void record(TraceEvent event);
+  void record(TraceEvent event) EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable check::Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 /// One timed scope. Construct with tracing enabled to record; with tracing

@@ -4,8 +4,8 @@ namespace starlab::obsmap {
 
 std::optional<RecoveredParams> recover_geometry(const ObstructionMap& filled,
                                                 std::size_t min_pixels,
-                                                double min_elevation_deg,
-                                                double max_elevation_deg) {
+                                                geo::Deg min_elevation,
+                                                geo::Deg max_elevation) {
   const std::vector<Pixel> pixels = filled.set_pixels();
   if (pixels.size() < min_pixels) return std::nullopt;
 
@@ -27,8 +27,8 @@ std::optional<RecoveredParams> recover_geometry(const ObstructionMap& filled,
   // shave quantization error.
   g.radius_px = 0.25 * ((out.bbox_max_x - out.bbox_min_x) +
                         (out.bbox_max_y - out.bbox_min_y));
-  g.min_elevation_deg = min_elevation_deg;
-  g.max_elevation_deg = max_elevation_deg;
+  g.min_elevation_deg = min_elevation.value();
+  g.max_elevation_deg = max_elevation.value();
   out.geometry = g;
   return out;
 }

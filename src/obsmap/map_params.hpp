@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "geo/units.hpp"
 #include "obsmap/obstruction_map.hpp"
 
 namespace starlab::obsmap {
@@ -28,6 +29,7 @@ struct RecoveredParams {
 /// box (fewer than `min_pixels` painted).
 [[nodiscard]] std::optional<RecoveredParams> recover_geometry(
     const ObstructionMap& filled, std::size_t min_pixels = 500,
-    double min_elevation_deg = 25.0, double max_elevation_deg = 90.0);
+    geo::Deg min_elevation = geo::Deg(25.0),
+    geo::Deg max_elevation = geo::Deg(90.0));
 
 }  // namespace starlab::obsmap

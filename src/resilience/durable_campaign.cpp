@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "check/thread_annotations.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "io/journal_io.hpp"
@@ -179,16 +179,23 @@ DurableCampaignResult run_campaign_durable(const core::Scenario& scenario,
   }
 
   // --- journal writer: repair the torn tail, then append as shards finish ---
-  std::unique_ptr<io::JournalWriter> writer;
-  std::mutex journal_mu;
-  bool journal_dead = false;  ///< guarded by journal_mu; set by a kill
+  // One writer shared by every shard chunk; appends (and the writer's
+  // internal segment state behind them) are serialized by `mu`.
+  std::unique_ptr<io::JournalWriter> owned_writer;
+  struct Journal {
+    check::Mutex mu;
+    io::JournalWriter* writer GUARDED_BY(mu) = nullptr;  ///< null: no journal
+    bool dead GUARDED_BY(mu) = false;                    ///< set by a kill
+  } journal;
   if (journaled) {
     io::JournalConfig jc;
     jc.path = durable.journal_path;
     jc.segment_bytes = durable.segment_bytes;
     jc.fsync = durable.fsync;
-    writer = std::make_unique<io::JournalWriter>(jc, durable.kill_point);
-    if (!header_on_disk) writer->append(header);
+    owned_writer = std::make_unique<io::JournalWriter>(jc, durable.kill_point);
+    const check::MutexLock lock(journal.mu);
+    journal.writer = owned_writer.get();
+    if (!header_on_disk) journal.writer->append(header);
   }
 
   std::vector<std::size_t> missing;
@@ -199,8 +206,10 @@ DurableCampaignResult run_campaign_durable(const core::Scenario& scenario,
 
   // --- supervised shard execution over the exec pool ---
   Supervisor supervisor(durable.supervisor);
-  std::mutex shed_mu;
-  std::size_t shed_records = 0;
+  struct Shed {
+    check::Mutex mu;
+    std::size_t records GUARDED_BY(mu) = 0;
+  } shed_total;
   exec::default_pool().parallel_for(missing.size(), [&](std::size_t i) {
     const std::size_t shard = missing[i];
     const std::size_t begin = shard * shard_slots;
@@ -223,26 +232,26 @@ DurableCampaignResult run_campaign_durable(const core::Scenario& scenario,
                       core::quality::kQuarantined);
     }
     if (shed != 0) {
-      const std::lock_guard<std::mutex> lock(shed_mu);
-      shed_records += shed;
+      const check::MutexLock lock(shed_total.mu);
+      shed_total.records += shed;
     }
 
-    if (writer != nullptr) {
-      const std::lock_guard<std::mutex> lock(journal_mu);
-      if (!journal_dead) {
+    {
+      const check::MutexLock lock(journal.mu);
+      if (journal.writer != nullptr && !journal.dead) {
         // Shed fsync once the ladder says to (never re-arm: the level is
         // monotone over a supervisor's life).
         if (supervisor.level() >= DegradeLevel::kShedObservability) {
-          writer->set_fsync(false);
+          journal.writer->set_fsync(false);
         }
         try {
-          writer->append(encode_shard(shard, rows));
+          journal.writer->append(encode_shard(shard, rows));
         } catch (const fault::WriteKilled&) {
           // The simulated process death. Mark the journal dead so sibling
           // chunks skip their appends (a dead process appends nothing)
           // instead of raising secondary errors, and let the kill propagate
           // out of parallel_for as the run's failure.
-          journal_dead = true;
+          journal.dead = true;
           throw;
         }
       }
@@ -250,7 +259,7 @@ DurableCampaignResult run_campaign_durable(const core::Scenario& scenario,
     shards[shard] = std::move(rows);
   });
 
-  if (writer != nullptr) writer->close();
+  if (owned_writer != nullptr) owned_writer->close();
 
   // --- assemble in shard order; counts recomputed exactly like run_campaign ---
   for (std::optional<std::vector<core::SlotObs>>& shard : shards) {
@@ -260,7 +269,12 @@ DurableCampaignResult run_campaign_durable(const core::Scenario& scenario,
 
   result.quarantined_shards =
       static_cast<std::size_t>(supervisor.quarantined());
-  result.shed_records = shed_records;
+  {
+    // parallel_for has joined; the lock is uncontended and exists so the
+    // annotated tally is read the same way it was written.
+    const check::MutexLock lock(shed_total.mu);
+    result.shed_records = shed_total.records;
+  }
   result.final_level = supervisor.level();
   if (result.resumed_shards != 0) {
     DurableMetrics::get().resumed_shards.add(result.resumed_shards);

@@ -89,12 +89,12 @@ double Supervisor::backoff_ms(std::uint64_t task_key, int attempt) const {
 }
 
 std::vector<std::string> Supervisor::events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   return events_;
 }
 
 void Supervisor::note(std::string event) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const check::MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -108,7 +108,7 @@ void Supervisor::record_failure(std::uint64_t task_key, int attempt,
     ResilienceMetrics::get().retries.add();
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const check::MutexLock lock(mu_);
     events_.push_back((will_retry ? "retry task=" : "fail task=") +
                       std::to_string(task_key) +
                       " attempt=" + std::to_string(attempt) + ": " + why);

@@ -26,10 +26,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/thread_annotations.hpp"
 #include "exec/cancel.hpp"
 #include "fault/injectors.hpp"
 
@@ -116,12 +116,12 @@ class Supervisor {
   [[nodiscard]] double backoff_ms(std::uint64_t task_key, int attempt) const;
 
   /// Chronological decision log (copies under the lock).
-  [[nodiscard]] std::vector<std::string> events() const;
+  [[nodiscard]] std::vector<std::string> events() const EXCLUDES(mu_);
 
   [[nodiscard]] const SupervisorConfig& config() const { return config_; }
 
  private:
-  void note(std::string event);
+  void note(std::string event) EXCLUDES(mu_);
   /// Re-derive the rung for a cumulative failure count.
   [[nodiscard]] DegradeLevel level_for(std::uint64_t failures) const;
   void record_failure(std::uint64_t task_key, int attempt,
@@ -132,9 +132,9 @@ class Supervisor {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> quarantined_{0};
-  mutable std::mutex mu_;
-  std::vector<std::string> events_;
-  int last_noted_level_ = 0;  ///< guarded by mu_; dedups ladder events
+  mutable check::Mutex mu_;
+  std::vector<std::string> events_ GUARDED_BY(mu_);
+  int last_noted_level_ GUARDED_BY(mu_) = 0;  ///< dedups ladder events
 };
 
 }  // namespace starlab::resilience

@@ -45,8 +45,8 @@ double GlobalScheduler::score(const ground::Candidate& c,
 
   // Elevation: 0 at the 25 deg floor, 1 at zenith.
   const double el_norm =
-      (look.elevation_deg - terminal.min_elevation_deg()) /
-      (90.0 - terminal.min_elevation_deg());
+      (look.elevation_deg - terminal.min_elevation().value()) /
+      (90.0 - terminal.min_elevation().value());
 
   // North preference: 1 due north, 0 due south.
   const double north_norm =

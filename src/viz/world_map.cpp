@@ -24,9 +24,9 @@ WorldMap::WorldMap(int width, int height)
   }
 }
 
-void WorldMap::plot(double latitude_deg, double longitude_deg, char symbol) {
-  const double lon = geo::wrap_180(longitude_deg);
-  const double lat = std::clamp(latitude_deg, -90.0, 90.0);
+void WorldMap::plot(geo::Deg latitude, geo::Deg longitude, char symbol) {
+  const double lon = geo::wrap_180(longitude.value());
+  const double lat = std::clamp(latitude.value(), -90.0, 90.0);
   int col = static_cast<int>((lon + 180.0) / 360.0 * width_);
   int row = static_cast<int>((90.0 - lat) / 180.0 * height_);
   col = std::clamp(col, 0, width_ - 1);
@@ -35,7 +35,7 @@ void WorldMap::plot(double latitude_deg, double longitude_deg, char symbol) {
 }
 
 void WorldMap::plot_all(const std::vector<MapMark>& marks) {
-  for (const MapMark& m : marks) plot(m.latitude_deg, m.longitude_deg, m.symbol);
+  for (const MapMark& m : marks) plot(m.latitude, m.longitude, m.symbol);
 }
 
 std::string WorldMap::render() const {

@@ -7,11 +7,13 @@
 #include <string>
 #include <vector>
 
+#include "geo/units.hpp"
+
 namespace starlab::viz {
 
 struct MapMark {
-  double latitude_deg = 0.0;
-  double longitude_deg = 0.0;
+  geo::Deg latitude;
+  geo::Deg longitude;
   char symbol = '*';
 };
 
@@ -21,7 +23,7 @@ class WorldMap {
   /// latitude [+90, -90] top-down.
   explicit WorldMap(int width = 90, int height = 30);
 
-  void plot(double latitude_deg, double longitude_deg, char symbol);
+  void plot(geo::Deg latitude, geo::Deg longitude, char symbol);
   void plot_all(const std::vector<MapMark>& marks);
 
   /// Render with a simple frame and equator/meridian rules.

@@ -1,0 +1,18 @@
+#pragma once
+
+// Fixture: the clean negative — nothing here may trigger any rule. The
+// one would-be finding is suppressed by its allow-comment, exercising the
+// starlint:allow() escape hatch.
+
+#include <string>
+
+#include "geo/units.hpp"
+#include "time/julian_date.hpp"
+
+struct FixtureSite {
+  starlab::geo::Deg latitude;
+  starlab::geo::Deg longitude;
+  double legacy_tilt_deg = 0.0;  // starlint:allow(raw-unit-double)
+};
+
+[[nodiscard]] FixtureSite parse_fixture_site(const std::string& line);

@@ -1,0 +1,6 @@
+// Fixture: std::getenv outside the sanctioned config seams triggers
+// `det-getenv` exactly once (this path is not in the allowlist).
+
+#include <cstdlib>
+
+const char* fixture_env() { return std::getenv("FIXTURE_VAR"); }

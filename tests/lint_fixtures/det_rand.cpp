@@ -1,0 +1,13 @@
+// Fixture: std::rand triggers `det-rand` exactly once. The identifier
+// "randomize" must not fire (word-boundary check), and neither must the
+// mention of rand() in this comment or in the string below.
+
+#include <cstdlib>
+#include <string>
+
+int randomize_nothing();
+
+int fixture_noise() {
+  const std::string label = "calls rand() in a string";
+  return std::rand();
+}

@@ -1,0 +1,8 @@
+// Fixture: std::random_device triggers `det-random-device` exactly once.
+
+#include <random>
+
+unsigned fixture_entropy() {
+  std::random_device dev;
+  return dev();
+}

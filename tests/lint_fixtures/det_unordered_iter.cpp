@@ -1,0 +1,20 @@
+// Fixture: a range-for over an unordered container triggers
+// `det-unordered-iter` exactly once. The sorted-vector loop below is the
+// sanctioned pattern and must not fire.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string fixture_serialize(
+    const std::unordered_map<int, std::string>& unordered_names,
+    const std::vector<std::string>& sorted_names) {
+  std::string out;
+  for (const auto& [id, name] : unordered_names) {
+    out += name;
+  }
+  for (const std::string& name : sorted_names) {
+    out += name;
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: std::chrono::system_clock triggers `det-wallclock` exactly
+// once. steady_clock in the same file is fine (monotonic, allowed).
+
+#include <chrono>
+#include <cstdint>
+
+std::int64_t fixture_now_ns() {
+  const auto steady = std::chrono::steady_clock::now();
+  (void)steady;
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: presented to starlint as src/tle/layering_bad.hpp, so this
+// include reaches *up* the DAG (tle may only depend on time) and must
+// trigger the `layering` rule exactly once. The sibling and interface
+// includes below are legal and must not fire.
+
+#include "core/campaign.hpp"
+
+#include "io/parse_report.hpp"
+#include "time/julian_date.hpp"
+#include "tle/tle.hpp"

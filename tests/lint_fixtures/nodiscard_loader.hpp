@@ -1,0 +1,17 @@
+#pragma once
+
+// Fixture: a parse_* declaration returning a value without [[nodiscard]]
+// triggers `nodiscard-loader` exactly once. The annotated load_* and the
+// void-returning parse_* must not fire.
+
+#include <string>
+
+struct FixtureConfig {
+  int value = 0;
+};
+
+FixtureConfig parse_fixture_config(const std::string& text);
+
+[[nodiscard]] FixtureConfig load_fixture_config(const std::string& path);
+
+void parse_fixture_in_place(const std::string& text, FixtureConfig& into);

@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: a raw unit-suffixed double field triggers `raw-unit-double`
+// exactly once. The unsuffixed double and the suffix-free name are fine.
+
+struct FixtureLook {
+  double azimuth_deg = 0.0;
+  double quality = 1.0;
+  double samples = 0.0;
+};

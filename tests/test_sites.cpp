@@ -55,7 +55,7 @@ TEST(Sites, IthacaObstructionIsNorthWest) {
 
 TEST(Sites, StandardFieldOfViewParameters) {
   for (const Terminal& t : paper_terminals()) {
-    EXPECT_DOUBLE_EQ(t.min_elevation_deg(), 25.0) << t.name();
+    EXPECT_DOUBLE_EQ(t.min_elevation().value(), 25.0) << t.name();
   }
 }
 

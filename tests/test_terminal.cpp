@@ -18,7 +18,7 @@ TEST(Terminal, CandidatesRespectElevationFloor) {
   const Terminal& iowa = small_scenario().terminal(0);
   for (const Candidate& c :
        iowa.candidates(small_scenario().catalog(), epoch_jd())) {
-    EXPECT_GE(c.sky.look.elevation_deg, iowa.min_elevation_deg());
+    EXPECT_GE(c.sky.look.elevation_deg, iowa.min_elevation().value());
   }
 }
 
@@ -103,12 +103,12 @@ TEST(Terminal, ConfigPlumbing) {
   cfg.name = "test-dish";
   cfg.site = {10.0, 20.0, 0.3};
   cfg.pop_site = {11.0, 21.0, 0.0};
-  cfg.min_elevation_deg = 30.0;
+  cfg.min_elevation = geo::Deg(30.0);
   const Terminal t(cfg);
   EXPECT_EQ(t.name(), "test-dish");
   EXPECT_DOUBLE_EQ(t.site().latitude_deg, 10.0);
   EXPECT_DOUBLE_EQ(t.pop_site().longitude_deg, 21.0);
-  EXPECT_DOUBLE_EQ(t.min_elevation_deg(), 30.0);
+  EXPECT_DOUBLE_EQ(t.min_elevation().value(), 30.0);
 }
 
 }  // namespace

@@ -58,8 +58,8 @@ TEST(SkyPlot, LaterMarksWin) {
 
 TEST(WorldMapTest, QuadrantPlacement) {
   WorldMap map(90, 30);
-  map.plot(45.0, -90.0, 'A');   // NW quadrant
-  map.plot(-45.0, 90.0, 'B');   // SE quadrant
+  map.plot(geo::Deg(45.0), geo::Deg(-90.0), 'A');   // NW quadrant
+  map.plot(geo::Deg(-45.0), geo::Deg(90.0), 'B');   // SE quadrant
   bool found_a = false, found_b = false;
   for (int r = 0; r < map.height(); ++r) {
     for (int c = 0; c < map.width(); ++c) {
@@ -81,7 +81,7 @@ TEST(WorldMapTest, QuadrantPlacement) {
 
 TEST(WorldMapTest, LongitudeWraps) {
   WorldMap map(90, 30);
-  map.plot(0.0, 190.0, 'X');  // == -170
+  map.plot(geo::Deg(0.0), geo::Deg(190.0), 'X');  // == -170
   bool found = false;
   for (int r = 0; r < map.height(); ++r) {
     for (int c = 0; c < 10; ++c) {
@@ -93,8 +93,8 @@ TEST(WorldMapTest, LongitudeWraps) {
 
 TEST(WorldMapTest, PolesClamped) {
   WorldMap map(90, 30);
-  map.plot(95.0, 0.0, 'P');
-  map.plot(-95.0, 0.0, 'Q');
+  map.plot(geo::Deg(95.0), geo::Deg(0.0), 'P');
+  map.plot(geo::Deg(-95.0), geo::Deg(0.0), 'Q');
   bool p_top = false, q_bottom = false;
   for (int c = 0; c < map.width(); ++c) {
     if (map.at(0, c) == 'P') p_top = true;

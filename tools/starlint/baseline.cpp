@@ -1,0 +1,184 @@
+#include "baseline.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace starlint {
+
+namespace {
+
+/// Cursor over baseline JSON — just nested objects of string keys and
+/// integer values, which is all format_baseline ever emits.
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) {
+      throw std::runtime_error("starlint baseline: unexpected end of JSON");
+    }
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("starlint baseline: expected '") +
+                               c + "' at offset " + std::to_string(pos));
+    }
+    ++pos;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out += text[pos++];
+    }
+    expect('"');
+    return out;
+  }
+  int integer() {
+    skip_ws();
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '-')) {
+      ++end;
+    }
+    if (end == pos) {
+      throw std::runtime_error("starlint baseline: expected integer");
+    }
+    const int value = std::stoi(text.substr(pos, end - pos));
+    pos = end;
+    return value;
+  }
+};
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+Baseline tally(const std::vector<Finding>& findings) {
+  Baseline out;
+  for (const Finding& f : findings) ++out[f.rule][f.file];
+  return out;
+}
+
+Baseline parse_baseline(const std::string& json) {
+  Baseline out;
+  JsonCursor cur{json};
+  cur.expect('{');
+  if (cur.peek() == '}') {
+    ++cur.pos;
+    return out;
+  }
+  while (true) {
+    const std::string rule = cur.string();
+    cur.expect(':');
+    cur.expect('{');
+    if (cur.peek() != '}') {
+      while (true) {
+        const std::string file = cur.string();
+        cur.expect(':');
+        out[rule][file] = cur.integer();
+        if (cur.peek() != ',') break;
+        ++cur.pos;
+      }
+    }
+    cur.expect('}');
+    if (cur.peek() != ',') break;
+    ++cur.pos;
+  }
+  cur.expect('}');
+  return out;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_baseline(buf.str());
+}
+
+std::string format_baseline(const Baseline& baseline) {
+  std::ostringstream out;
+  out << "{";
+  bool first_rule = true;
+  for (const auto& [rule, files] : baseline) {
+    if (files.empty()) continue;
+    out << (first_rule ? "\n" : ",\n") << "  " << quote(rule) << ": {";
+    first_rule = false;
+    bool first_file = true;
+    for (const auto& [file, count] : files) {
+      if (count == 0) continue;
+      out << (first_file ? "\n" : ",\n")
+          << "    " << quote(file) << ": " << count;
+      first_file = false;
+    }
+    out << "\n  }";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void write_baseline(const std::string& path, const Baseline& baseline) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("starlint: cannot write " + path);
+  out << format_baseline(baseline);
+}
+
+BaselineCheck check_against_baseline(const std::vector<Finding>& findings,
+                                     const Baseline& baseline) {
+  BaselineCheck result;
+  const Baseline observed = tally(findings);
+  for (const auto& [rule, files] : observed) {
+    for (const auto& [file, count] : files) {
+      int allowed = 0;
+      const auto rule_it = baseline.find(rule);
+      if (rule_it != baseline.end()) {
+        const auto file_it = rule_it->second.find(file);
+        if (file_it != rule_it->second.end()) allowed = file_it->second;
+      }
+      if (count > allowed) {
+        result.regressions.push_back(
+            "[" + rule + "] " + file + ": " + std::to_string(count) +
+            " finding(s), baseline allows " + std::to_string(allowed));
+      }
+    }
+  }
+  for (const auto& [rule, files] : baseline) {
+    for (const auto& [file, allowed] : files) {
+      int count = 0;
+      const auto rule_it = observed.find(rule);
+      if (rule_it != observed.end()) {
+        const auto file_it = rule_it->second.find(file);
+        if (file_it != rule_it->second.end()) count = file_it->second;
+      }
+      if (count < allowed) {
+        result.stale.push_back(
+            "[" + rule + "] " + file + ": baseline allows " +
+            std::to_string(allowed) + " but only " + std::to_string(count) +
+            " remain; regenerate with --write-baseline");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace starlint

@@ -1,0 +1,50 @@
+#pragma once
+
+// The finding baseline: per-(rule, file) counts of known findings, stored
+// as JSON at tools/starlint/baseline.json.
+//
+//   { "raw-unit-double": { "src/ground/site.hpp": 2, ... }, ... }
+//
+// Comparison is by count, like scripts/lint.sh's old baseline: a file may
+// not grow new findings of a rule, and when findings are fixed the run
+// demands the baseline be regenerated (--write-baseline) so it only ever
+// ratchets down. Entries for files/rules with zero findings are never
+// written.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace starlint {
+
+/// rule id -> file -> count.
+using Baseline = std::map<std::string, std::map<std::string, int>>;
+
+/// Count findings per (rule, file).
+[[nodiscard]] Baseline tally(const std::vector<Finding>& findings);
+
+/// Parse baseline JSON. Throws std::runtime_error on malformed input.
+[[nodiscard]] Baseline parse_baseline(const std::string& json);
+
+/// Load from disk; a missing file is an empty baseline.
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+[[nodiscard]] std::string format_baseline(const Baseline& baseline);
+void write_baseline(const std::string& path, const Baseline& baseline);
+
+/// Result of checking a run against the baseline.
+struct BaselineCheck {
+  /// Findings beyond the baselined count, per (rule, file) — the failures.
+  std::vector<std::string> regressions;
+  /// Baseline entries above the observed count — fixed findings whose
+  /// baseline entry must be re-written (the ratchet).
+  std::vector<std::string> stale;
+  [[nodiscard]] bool ok() const { return regressions.empty() && stale.empty(); }
+};
+
+[[nodiscard]] BaselineCheck check_against_baseline(
+    const std::vector<Finding>& findings, const Baseline& baseline);
+
+}  // namespace starlint

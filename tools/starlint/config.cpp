@@ -1,0 +1,179 @@
+#include "config.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace starlint {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+  throw std::runtime_error("layers.toml:" + std::to_string(line) + ": " + why);
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strip a trailing # comment (quotes-aware) and trim.
+std::string strip_comment(const std::string& s) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_string = !in_string;
+    if (s[i] == '#' && !in_string) return trim(s.substr(0, i));
+  }
+  return trim(s);
+}
+
+/// Parse the "a", "b", ... elements of an array body (no brackets).
+std::vector<std::string> parse_strings(const std::string& body,
+                                       std::size_t line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const char c = body[i];
+    if (c == ' ' || c == '\t' || c == ',') {
+      ++i;
+    } else if (c == '"') {
+      const std::size_t close = body.find('"', i + 1);
+      if (close == std::string::npos) fail(line, "unterminated string");
+      out.push_back(body.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else {
+      fail(line, "expected quoted string in array");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void LayersConfig::validate() const {
+  for (const auto& [layer, targets] : deps) {
+    for (const std::string& target : targets) {
+      if (deps.find(target) == deps.end()) {
+        throw std::runtime_error("layers.toml: [layers." + layer +
+                                 "] depends on undeclared subsystem '" +
+                                 target + "'");
+      }
+    }
+  }
+  // Depth-first cycle check over the declared graph. 0 = unvisited,
+  // 1 = on the current path, 2 = finished.
+  std::map<std::string, int> state;
+  std::vector<std::string> path;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        state[node] = 1;
+        path.push_back(node);
+        for (const std::string& next : deps.at(node)) {
+          if (state[next] == 1) {
+            std::string cycle;
+            for (const std::string& p : path) cycle += p + " -> ";
+            throw std::runtime_error(
+                "layers.toml: dependency cycle: " + cycle + next);
+          }
+          if (state[next] == 0) visit(next);
+        }
+        path.pop_back();
+        state[node] = 2;
+      };
+  for (const auto& [layer, targets] : deps) {
+    if (state[layer] == 0) visit(layer);
+  }
+}
+
+LayersConfig parse_layers_config(const std::string& text) {
+  LayersConfig config;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  std::size_t lineno = 0;
+
+  // Array values may spread over lines; accumulate until ']'.
+  std::string pending_key;
+  std::string pending_body;
+  bool in_array = false;
+
+  const auto commit_array = [&](std::size_t at) {
+    const std::vector<std::string> values = parse_strings(pending_body, at);
+    if (section == "starlint" && pending_key == "interface_headers") {
+      config.interface_headers.insert(values.begin(), values.end());
+    } else if (section == "starlint" && pending_key == "getenv_allowlist") {
+      config.getenv_allowlist.insert(values.begin(), values.end());
+    } else if (section == "layers") {
+      config.deps[pending_key].insert(values.begin(), values.end());
+    } else {
+      fail(at, "unknown key '" + pending_key + "' in section [" + section +
+                   "]");
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = strip_comment(line);
+    if (t.empty()) continue;
+
+    if (in_array) {
+      const std::size_t close = t.find(']');
+      if (close == std::string::npos) {
+        pending_body += " " + t;
+      } else {
+        pending_body += " " + t.substr(0, close);
+        if (trim(t.substr(close + 1)) != "") {
+          fail(lineno, "trailing content after ']'");
+        }
+        commit_array(lineno);
+        in_array = false;
+      }
+      continue;
+    }
+
+    if (t.front() == '[') {
+      if (t.back() != ']') fail(lineno, "malformed section header");
+      section = t.substr(1, t.size() - 2);
+      if (section != "layers" && section != "starlint") {
+        fail(lineno, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key = value");
+    pending_key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (value.empty() || value.front() != '[') {
+      fail(lineno, "expected an array value for '" + pending_key + "'");
+    }
+    const std::size_t close = value.find(']');
+    if (close == std::string::npos) {
+      pending_body = value.substr(1);
+      in_array = true;
+    } else {
+      if (trim(value.substr(close + 1)) != "") {
+        fail(lineno, "trailing content after ']'");
+      }
+      pending_body = value.substr(1, close - 1);
+      commit_array(lineno);
+    }
+  }
+  if (in_array) fail(lineno, "unterminated array for '" + pending_key + "'");
+
+  config.validate();
+  return config;
+}
+
+LayersConfig load_layers_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("starlint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_layers_config(buf.str());
+}
+
+}  // namespace starlint

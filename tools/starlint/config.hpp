@@ -1,0 +1,42 @@
+#pragma once
+
+// starlint's declared architecture: the subsystem dependency DAG and the
+// rule allowlists, read from tools/starlint/layers.toml.
+//
+// The parser handles the TOML subset the config actually uses — [section]
+// headers, `key = "string"`, `key = ["a", "b"]` arrays (single-line or
+// spread over lines), and # comments — and nothing more. Unknown syntax is
+// an error, not a silent skip: a typo in the architecture file must not
+// quietly stop enforcing the architecture.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace starlint {
+
+struct LayersConfig {
+  /// subsystem -> subsystems its files may include. Every subsystem under
+  /// src/ must appear as a key (an empty list means "depends on nothing").
+  std::map<std::string, std::set<std::string>> deps;
+  /// Layer-neutral header-only files (repo-relative under src/), includable
+  /// from any subsystem without creating a dependency edge.
+  std::set<std::string> interface_headers;
+  /// Files (repo-relative under src/) where std::getenv is a sanctioned
+  /// configuration seam.
+  std::set<std::string> getenv_allowlist;
+
+  /// Throws std::runtime_error when the declared graph has a cycle or an
+  /// edge points at an undeclared subsystem.
+  void validate() const;
+};
+
+/// Parse layers.toml text. Throws std::runtime_error with a line number on
+/// malformed input; calls validate() on the result.
+[[nodiscard]] LayersConfig parse_layers_config(const std::string& text);
+
+/// Load + parse a layers.toml file from disk.
+[[nodiscard]] LayersConfig load_layers_config(const std::string& path);
+
+}  // namespace starlint

@@ -1,0 +1,297 @@
+#include "rules.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace starlint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One identifier occurrence in scrubbed text.
+struct Ident {
+  std::string text;
+  std::size_t pos = 0;
+};
+
+std::vector<Ident> identifiers(const std::string& text) {
+  std::vector<Ident> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_ident_char(text[i]) &&
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      std::size_t end = i;
+      while (end < text.size() && is_ident_char(text[end])) ++end;
+      out.push_back({text.substr(i, end - i), i});
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Subsystem of a repo-relative path "src/<subsys>/..." ("" otherwise).
+std::string subsystem_of(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+std::string ends_with_unit(const std::string& name) {
+  for (const char* suffix : {"_deg", "_rad", "_km"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return s;
+    }
+  }
+  return "";
+}
+
+/// Emit unless an allow-comment covers the line.
+void emit(std::vector<Finding>& findings, const SourceFile& file,
+          const std::string& rule, std::size_t line, std::string message) {
+  if (file.allowed(rule, line)) return;
+  findings.push_back({rule, file.path(), line, std::move(message)});
+}
+
+// --- layering ---------------------------------------------------------------
+
+void rule_layering(const SourceFile& file, const LayersConfig& config,
+                   std::vector<Finding>& findings) {
+  const std::string subsys = subsystem_of(file.path());
+  if (subsys.empty()) return;
+  const auto deps_it = config.deps.find(subsys);
+  if (deps_it == config.deps.end()) {
+    emit(findings, file, "layering", 1,
+         "subsystem '" + subsys +
+             "' is not declared in [layers] of layers.toml");
+    return;
+  }
+  for (std::size_t line = 1; line <= file.num_lines(); ++line) {
+    // Comments are blanked in the scrubbed line, so `// #include` is dead;
+    // the include path itself is a string literal (also blanked), so the
+    // target is read from the raw text at the same offsets.
+    const std::string scrubbed = file.scrubbed_line(line);
+    const std::size_t hash = scrubbed.find("#include");
+    if (hash == std::string::npos ||
+        scrubbed.find_first_not_of(" \t") != hash) {
+      continue;
+    }
+    const std::string raw_line = file.raw_line(line);
+    const std::size_t open = raw_line.find('"');
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = raw_line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = raw_line.substr(open + 1, close - open - 1);
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;  // sibling include
+    const std::string target_subsys = target.substr(0, slash);
+    if (target_subsys == subsys) continue;
+    if (config.deps.find(target_subsys) == config.deps.end()) {
+      continue;  // not a subsystem-qualified include (e.g. vendored path)
+    }
+    if (config.interface_headers.count("src/" + target) != 0) continue;
+    if (deps_it->second.count(target_subsys) == 0) {
+      emit(findings, file, "layering", line,
+           "'" + subsys + "' may not include '" + target + "': '" +
+               target_subsys + "' is not in its declared dependencies");
+    }
+  }
+}
+
+// --- determinism ------------------------------------------------------------
+
+void rule_determinism(const SourceFile& file, const LayersConfig& config,
+                      std::vector<Finding>& findings) {
+  const bool getenv_ok = config.getenv_allowlist.count(file.path()) != 0;
+  for (const Ident& id : identifiers(file.scrubbed())) {
+    const std::size_t line = file.line_of(id.pos);
+    if (id.text == "rand" || id.text == "srand" || id.text == "rand_r") {
+      emit(findings, file, "det-rand", line,
+           "'" + id.text +
+               "' draws from unseeded global state; use a seeded "
+               "std::mt19937_64 (see ml/random_forest.cpp)");
+    } else if (id.text == "random_device") {
+      emit(findings, file, "det-random-device", line,
+           "std::random_device is hardware entropy; runs would not replay. "
+           "Derive seeds from config (splitmix64 over seed + index)");
+    } else if (id.text == "system_clock") {
+      emit(findings, file, "det-wallclock", line,
+           "std::chrono::system_clock reads the wall clock; scenario time "
+           "comes from time::SlotGrid / time::JulianDate");
+    } else if (id.text == "getenv" && !getenv_ok) {
+      emit(findings, file, "det-getenv", line,
+           "std::getenv outside the sanctioned config seams "
+           "(see [starlint].getenv_allowlist in layers.toml)");
+    }
+  }
+
+  // Range-for whose range expression names an unordered container:
+  // `for (decl : expr)` where expr contains "unordered". Iteration order is
+  // unspecified, so anything derived from it is nondeterministic.
+  const std::string& text = file.scrubbed();
+  for (const Ident& id : identifiers(text)) {
+    if (id.text != "for") continue;
+    std::size_t open = id.pos + 3;
+    while (open < text.size() &&
+           (text[open] == ' ' || text[open] == '\t' || text[open] == '\n')) {
+      ++open;
+    }
+    if (open >= text.size() || text[open] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = open;
+    for (std::size_t i = open; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+      if (text[i] == ':' && depth == 1 && colon == std::string::npos &&
+          (i == 0 || text[i - 1] != ':') &&
+          (i + 1 >= text.size() || text[i + 1] != ':')) {
+        colon = i;
+      }
+    }
+    if (colon == std::string::npos || close <= colon) continue;
+    const std::string range_expr = text.substr(colon + 1, close - colon - 1);
+    if (range_expr.find("unordered") != std::string::npos) {
+      emit(findings, file, "det-unordered-iter", file.line_of(id.pos),
+           "range-for over an unordered container: iteration order is "
+           "unspecified; copy keys out and sort before iterating");
+    }
+  }
+}
+
+// --- hygiene ----------------------------------------------------------------
+
+void rule_raw_unit_double(const SourceFile& file,
+                          std::vector<Finding>& findings) {
+  // `double foo_deg` (any *_deg/_rad/_km identifier directly after the
+  // keyword) — the geo:: unit wrappers exist so these can't mix.
+  const std::vector<Ident> ids = identifiers(file.scrubbed());
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    if (ids[i].text != "double") continue;
+    // Adjacent tokens only: nothing but whitespace between them.
+    const std::string& text = file.scrubbed();
+    const std::size_t between = ids[i].pos + ids[i].text.size();
+    bool adjacent = true;
+    for (std::size_t k = between; k < ids[i + 1].pos; ++k) {
+      if (text[k] != ' ' && text[k] != '\t' && text[k] != '\n') {
+        adjacent = false;
+        break;
+      }
+    }
+    if (!adjacent) continue;
+    const std::string suffix = ends_with_unit(ids[i + 1].text);
+    if (suffix.empty()) continue;
+    emit(findings, file, "raw-unit-double", file.line_of(ids[i + 1].pos),
+         "raw `double " + ids[i + 1].text + "`; use the geo:: unit type for " +
+             suffix.substr(1) + " instead");
+  }
+}
+
+void rule_nodiscard_loader(const SourceFile& file,
+                           std::vector<Finding>& findings) {
+  // Headers only: a load_*/parse_* declaration whose result can be silently
+  // dropped. A declaration is recognized by a type token directly before
+  // the name (so call sites `x = parse_foo(...)` don't match).
+  if (file.path().size() < 4 ||
+      file.path().compare(file.path().size() - 4, 4, ".hpp") != 0) {
+    return;
+  }
+  const std::vector<Ident> ids = identifiers(file.scrubbed());
+  const std::string& text = file.scrubbed();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::string& name = ids[i].text;
+    if (name.rfind("load_", 0) != 0 && name.rfind("parse_", 0) != 0) continue;
+    // Must be a call-shaped token: next non-space char is '('.
+    std::size_t after = ids[i].pos + name.size();
+    while (after < text.size() && (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after >= text.size() || text[after] != '(') continue;
+    if (i == 0) continue;
+    const Ident& prev = ids[i - 1];
+    // Token before the name must end a type (identifier, `>`, `&`, `*`,
+    // `::`) with nothing but type punctuation between — not `=`, `(`, etc.
+    bool type_before = true;
+    for (std::size_t k = prev.pos + prev.text.size(); k < ids[i].pos; ++k) {
+      const char c = text[k];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '>' && c != '&' &&
+          c != '*' && c != ':') {
+        type_before = false;
+        break;
+      }
+    }
+    if (!type_before) continue;
+    if (prev.text == "void" || prev.text == "return" || prev.text == "co_return")
+      continue;
+    // Keywords that precede a call, not a declaration.
+    if (prev.text == "if" || prev.text == "while" || prev.text == "throw")
+      continue;
+    const std::size_t line = file.line_of(ids[i].pos);
+    // [[nodiscard]] may sit on the same line or the line(s) above.
+    bool has_nodiscard = false;
+    for (std::size_t l = line; l + 2 > line && l >= 1; --l) {
+      if (file.scrubbed_line(l).find("nodiscard") != std::string::npos) {
+        has_nodiscard = true;
+        break;
+      }
+      if (l == 1) break;
+    }
+    if (has_nodiscard) continue;
+    emit(findings, file, "nodiscard-loader", line,
+         "'" + name +
+             "' returns a value that must not be silently dropped; mark the "
+             "declaration [[nodiscard]]");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> ids = {
+      "layering",           "det-rand",        "det-random-device",
+      "det-wallclock",      "det-getenv",      "det-unordered-iter",
+      "raw-unit-double",    "nodiscard-loader"};
+  return ids;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "layering")
+    return "#include must follow the declared subsystem dependency DAG";
+  if (rule == "det-rand") return "std::rand/srand are banned (unseeded RNG)";
+  if (rule == "det-random-device")
+    return "std::random_device is banned (non-replayable entropy)";
+  if (rule == "det-wallclock")
+    return "std::chrono::system_clock is banned (wall-clock time)";
+  if (rule == "det-getenv")
+    return "std::getenv is restricted to sanctioned config seams";
+  if (rule == "det-unordered-iter")
+    return "iterating an unordered container yields unspecified order";
+  if (rule == "raw-unit-double")
+    return "raw double *_deg/_rad/_km fields must use geo:: unit types";
+  if (rule == "nodiscard-loader")
+    return "load_*/parse_* declarations must be [[nodiscard]]";
+  throw std::invalid_argument("unknown starlint rule: " + rule);
+}
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               const LayersConfig& config) {
+  std::vector<Finding> findings;
+  rule_layering(file, config, findings);
+  rule_determinism(file, config, findings);
+  rule_raw_unit_double(file, findings);
+  rule_nodiscard_loader(file, findings);
+  return findings;
+}
+
+}  // namespace starlint

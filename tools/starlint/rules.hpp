@@ -1,0 +1,43 @@
+#pragma once
+
+// The starlint rule catalog. Every rule is a pure function of one scrubbed
+// source file plus the LayersConfig; findings carry a stable rule id that
+// the baseline, the allow-comments and the SARIF output all key on.
+//
+//   layering            #include crossing the declared subsystem DAG
+//   det-rand            std::rand / srand / rand_r (unseeded global RNG)
+//   det-random-device   std::random_device (hardware entropy)
+//   det-wallclock       std::chrono::system_clock (wall-clock time)
+//   det-getenv          std::getenv outside the sanctioned config seams
+//   det-unordered-iter  range-for over an unordered container
+//   raw-unit-double     raw `double foo_deg/_rad/_km` instead of geo:: types
+//   nodiscard-loader    load_*/parse_* declaration missing [[nodiscard]]
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "source_file.hpp"
+
+namespace starlint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// All rule ids, in reporting order.
+[[nodiscard]] const std::vector<std::string>& all_rule_ids();
+
+/// One-line description of `rule` (for SARIF rule metadata).
+[[nodiscard]] std::string rule_description(const std::string& rule);
+
+/// Run every rule over one file. `starlint:allow(rule)` comments have
+/// already suppressed their findings. Files outside src/ only get the
+/// determinism + hygiene rules (layering needs a subsystem directory).
+[[nodiscard]] std::vector<Finding> run_rules(const SourceFile& file,
+                                             const LayersConfig& config);
+
+}  // namespace starlint

@@ -1,0 +1,67 @@
+#include "sarif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace starlint {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"starlint\",\n"
+      << "      \"informationUri\": \"tools/starlint\",\n"
+      << "      \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : all_rule_ids()) {
+    out << (first ? "\n" : ",\n") << "        {\"id\": " << quote(rule)
+        << ", \"shortDescription\": {\"text\": "
+        << quote(rule_description(rule)) << "}}";
+    first = false;
+  }
+  out << "\n      ]\n    }},\n    \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n") << "      {\"ruleId\": " << quote(f.rule)
+        << ", \"level\": \"error\", \"message\": {\"text\": "
+        << quote(f.message) << "}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": " << quote(f.file)
+        << "}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+    first = false;
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return out.str();
+}
+
+void write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("starlint: cannot write " + path);
+  out << format_sarif(findings);
+}
+
+}  // namespace starlint

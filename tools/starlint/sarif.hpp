@@ -1,0 +1,17 @@
+#pragma once
+
+// Minimal SARIF 2.1.0 writer — one run, one tool (starlint), one result per
+// finding — enough for GitHub code scanning upload and editor SARIF viewers.
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace starlint {
+
+[[nodiscard]] std::string format_sarif(const std::vector<Finding>& findings);
+void write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings);
+
+}  // namespace starlint

@@ -1,0 +1,62 @@
+#pragma once
+
+// One analyzed source file: raw text, a scrubbed view with comments and
+// string/character literals blanked (newlines preserved, so line numbers in
+// the scrubbed text match the raw text), and the starlint:allow() directives
+// harvested from the comments before they were blanked.
+//
+// The scrubber is a hand-rolled lexer over //, /* */, "...", '...', and raw
+// string literals R"delim(...)delim" — enough that the regex-free rule scans
+// in rules.cpp never fire inside a comment or a literal.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace starlint {
+
+class SourceFile {
+ public:
+  /// @param path     path the file is reported under (repo-relative).
+  /// @param content  the raw file text.
+  SourceFile(std::string path, std::string content);
+
+  /// Load from disk; throws std::runtime_error when unreadable.
+  static SourceFile load(const std::string& fs_path,
+                         const std::string& report_path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& raw() const { return raw_; }
+  /// Comments and string/char literal bodies replaced by spaces; same
+  /// length and newline positions as raw().
+  [[nodiscard]] const std::string& scrubbed() const { return scrubbed_; }
+
+  /// 1-based line number of byte offset `pos` in raw()/scrubbed().
+  [[nodiscard]] std::size_t line_of(std::size_t pos) const;
+
+  /// Scrubbed text of 1-based line `line` ("" past the end).
+  [[nodiscard]] std::string scrubbed_line(std::size_t line) const;
+  /// Raw text of 1-based line `line` ("" past the end).
+  [[nodiscard]] std::string raw_line(std::size_t line) const;
+  [[nodiscard]] std::size_t num_lines() const { return line_starts_.size(); }
+
+  /// True when a `starlint:allow(rule)` comment suppresses `rule` on `line`
+  /// — the directive covers its own line and the line after it, so it works
+  /// both trailing (`code  // starlint:allow(x)`) and preceding.
+  [[nodiscard]] bool allowed(const std::string& rule, std::size_t line) const;
+
+ private:
+  void scrub();
+  void collect_allow(const std::string& comment, std::size_t line);
+
+  std::string path_;
+  std::string raw_;
+  std::string scrubbed_;
+  std::vector<std::size_t> line_starts_;
+  /// rule id -> lines where an allow() directive appeared.
+  std::unordered_map<std::string, std::unordered_set<std::size_t>> allows_;
+};
+
+}  // namespace starlint
