@@ -68,7 +68,7 @@ void report(bench::ReportSink& sink, const char* name, const Observables& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_ablation.json");
   bench::print_header(
       "Scheduler-weight ablation (half-scale, 6 h campaigns)");
   std::printf("  %-22s %8s %10s %11s %9s\n", "variant", "AOEgap", "north",

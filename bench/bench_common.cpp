@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "obs/config.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 #ifndef STARLAB_GIT_SHA
@@ -86,6 +87,10 @@ ReportSink::ReportSink(int& argc, char** argv, std::string default_json_path)
       json_path_ = v;
     } else if (const char* v2 = flag_value(argv[i], "--trace-out")) {
       trace_path_ = v2;
+    } else if (const char* v3 = flag_value(argv[i], "--prof-out")) {
+      prof_path_ = v3;
+    } else if (const char* v4 = flag_value(argv[i], "--collapsed-out")) {
+      collapsed_path_ = v4;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
       json_path_.clear();
     } else {
@@ -97,6 +102,7 @@ ReportSink::ReportSink(int& argc, char** argv, std::string default_json_path)
   obs::Config cfg = obs::config();
   if (!json_path_.empty()) cfg.metrics = true;  // stage timers need obs on
   if (!trace_path_.empty()) cfg.tracing = true;
+  if (!prof_path_.empty() || !collapsed_path_.empty()) cfg.profiling = true;
   obs::set_config(cfg);
 }
 
@@ -124,6 +130,27 @@ ReportSink::~ReportSink() {
                   obs::TraceRecorder::instance().size(), trace_path_.c_str());
     } else {
       std::fprintf(stderr, "[report] FAILED opening %s\n", trace_path_.c_str());
+    }
+  }
+  if (!prof_path_.empty()) {
+    std::ofstream out(prof_path_);
+    if (out) {
+      out << obs::Profiler::instance().report_json() << '\n';
+      std::printf("[report] %zu profiled path(s) -> %s\n",
+                  obs::Profiler::instance().size(), prof_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[report] FAILED opening %s\n", prof_path_.c_str());
+    }
+  }
+  if (!collapsed_path_.empty()) {
+    std::ofstream out(collapsed_path_);
+    if (out) {
+      out << obs::Profiler::instance().collapsed_stacks();
+      std::printf("[report] collapsed stacks -> %s (flamegraph.pl input)\n",
+                  collapsed_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[report] FAILED opening %s\n",
+                   collapsed_path_.c_str());
     }
   }
 }

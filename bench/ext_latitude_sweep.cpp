@@ -11,7 +11,7 @@
 using namespace starlab;
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_latitude.json");
   bench::print_header(
       "Latitude sweep: pick-azimuth shares vs GSO-arc position");
   std::printf("  lat     GSOarc(az@el)   north-share  south-share  mean-AOE"
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     const double south_share =
         az.quadrant_share_chosen[1] + az.quadrant_share_chosen[2];
     std::printf("  %+5.0f   %5.1f@%4.1f      %6.2f       %6.2f       %6.1f\n",
-                lat, arc_az, arc.max_elevation_deg(), az.north_share_chosen,
+                lat, arc_az, arc.max_elevation().value(), az.north_share_chosen,
                 south_share, aoe.median_gap_deg);
 
     char label[32];

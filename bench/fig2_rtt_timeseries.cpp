@@ -13,7 +13,7 @@
 using namespace starlab;
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_fig2.json");
   const core::Scenario& sc = bench::full_scenario();
   const std::size_t madrid = 2;
 

@@ -11,7 +11,7 @@
 using namespace starlab;
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_fig3.json");
   const core::Scenario& sc = bench::full_scenario();
   const ground::Terminal& terminal = sc.terminal(0);
 

@@ -9,7 +9,7 @@
 using namespace starlab;
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_fig7.json");
   const core::CampaignData& data = bench::standard_campaign();
   const core::SchedulerCharacterizer ch(data, bench::full_scenario().catalog());
 

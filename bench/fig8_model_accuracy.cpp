@@ -10,7 +10,7 @@
 using namespace starlab;
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_fig8.json");
   const core::CampaignData& data = bench::standard_campaign();
 
   bench::print_header("Fig 8: top-k accuracy, random forest vs baseline");

@@ -1,0 +1,82 @@
+// perfgate — the profile half of the ctest `perfgate` label. Runs the
+// identification pipeline at 1/8 scale with profiling enabled and writes
+// the span Profiler's JSON report; benchdiff then checks the [span]
+// ceilings in bench/budgets.toml against it (mean ns per call). Ceilings
+// are deliberately ~100x the measured numbers: the gate exists to catch
+// order-of-magnitude regressions (an accidentally quadratic loop, a cache
+// bypass), not scheduler jitter on a loaded CI runner.
+//
+//   perfgate [--out=perfgate_prof.json] [--collapsed=PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/scenario.hpp"
+#include "obs/config.hpp"
+#include "obs/prof.hpp"
+
+namespace {
+
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace starlab;
+
+  std::string out_path = "perfgate_prof.json";
+  std::string collapsed_path;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--out")) {
+      out_path = v;
+    } else if (const char* v2 = flag_value(argv[i], "--collapsed")) {
+      collapsed_path = v2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perfgate [--out=PATH] [--collapsed=PATH]\n");
+      return 2;
+    }
+  }
+
+  obs::Config cfg;
+  cfg.metrics = true;
+  cfg.profiling = true;
+  obs::set_config(cfg);
+
+  std::printf("[perfgate] building 1/8-scale scenario...\n");
+  const core::Scenario scenario(core::Scenario::default_config(0.125));
+  const core::InferencePipeline pipeline(scenario);
+
+  std::printf("[perfgate] running pipeline (terminal 0, 15 min)...\n");
+  const core::PipelineResult result = pipeline.run(0, 15.0 * 60.0);
+  std::printf("[perfgate] %zu slot(s), accuracy %.3f\n", result.rows.size(),
+              result.accuracy());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[perfgate] FAILED opening %s\n", out_path.c_str());
+    return 1;
+  }
+  out << obs::Profiler::instance().report_json() << '\n';
+  std::printf("[perfgate] %zu profiled path(s) -> %s\n",
+              obs::Profiler::instance().size(), out_path.c_str());
+
+  if (!collapsed_path.empty()) {
+    std::ofstream collapsed(collapsed_path);
+    if (!collapsed) {
+      std::fprintf(stderr, "[perfgate] FAILED opening %s\n",
+                   collapsed_path.c_str());
+      return 1;
+    }
+    collapsed << obs::Profiler::instance().collapsed_stacks();
+    std::printf("[perfgate] collapsed stacks -> %s\n", collapsed_path.c_str());
+  }
+  return 0;
+}

@@ -42,7 +42,7 @@ TrialStats run_trials(const core::Scenario& sc, const core::PipelineConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ReportSink sink(argc, argv);
+  bench::ReportSink sink(argc, argv, "BENCH_sec4.json");
   const core::Scenario& sc = bench::full_scenario();
 
   bench::print_header("§4.1: DTW identification vs ground truth (500 trials)");

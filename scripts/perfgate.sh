@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# starlab perf gate: rerun the microbenches, diff them against the committed
+# bench/baselines/ with the noise thresholds in bench/benchdiff.toml, and
+# check the absolute ceilings in bench/budgets.toml against a profiled
+# pipeline run. This is the local twin of CI's `benchdiff` job; the ctest
+# label `perfgate` runs the budget half on every tier-1 pass. See
+# docs/OBSERVABILITY.md, "Regression gate".
+#
+# Usage: scripts/perfgate.sh [build-dir]          (default: build)
+#        scripts/perfgate.sh --write-baseline     (bank the current numbers)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+WRITE_BASELINE=0
+case "${1:-}" in
+  --write-baseline) WRITE_BASELINE=1 ;;
+  "") ;;
+  *) BUILD_DIR="$1" ;;
+esac
+
+cmake --build "$BUILD_DIR" -j --target perf_microbench benchdiff perfgate \
+  || exit 1
+
+ARTIFACTS="$BUILD_DIR/perfgate-artifacts"
+mkdir -p "$ARTIFACTS"
+"./$BUILD_DIR/bench/perf_microbench" --benchmark_min_time=0.05 \
+  --json-out="$ARTIFACTS/BENCH_perf.json" || exit 1
+"./$BUILD_DIR/bench/perfgate" --out="$ARTIFACTS/perfgate_prof.json" \
+  --collapsed="$ARTIFACTS/perfgate.folded" || exit 1
+
+if [ "$WRITE_BASELINE" -eq 1 ]; then
+  exec "./$BUILD_DIR/tools/benchdiff/benchdiff" --baseline bench/baselines \
+    --write-baseline "$ARTIFACTS/BENCH_perf.json"
+fi
+
+# Local runs skip --allow-improvement on purpose: a big speedup on the
+# machine that banked the baseline is a stale baseline, and this is the
+# machine that can re-bank it.
+exec "./$BUILD_DIR/tools/benchdiff/benchdiff" \
+  --baseline bench/baselines \
+  --thresholds bench/benchdiff.toml \
+  --budgets bench/budgets.toml \
+  --profile "$ARTIFACTS/perfgate_prof.json" \
+  --markdown "$ARTIFACTS/benchdiff.md" \
+  "$ARTIFACTS/BENCH_perf.json"

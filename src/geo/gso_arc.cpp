@@ -8,30 +8,30 @@
 
 namespace starlab::geo {
 
-GsoArc::GsoArc(const Geodetic& site, double step_deg,
-               double min_elevation_deg) {
+GsoArc::GsoArc(const Geodetic& site, Deg step, Deg min_elevation) {
   // A geostationary satellite sits on the equatorial plane at radius
   // kGsoRadiusKm; in ECEF it is fixed, so the arc can be sampled once.
-  for (double lon = -180.0; lon < 180.0; lon += step_deg) {
+  for (double lon = -180.0; lon < 180.0; lon += step.value()) {
     const double lon_rad = deg_to_rad(lon);
     const EcefKm gso_ecef{kGsoRadiusKm * std::cos(lon_rad),
                           kGsoRadiusKm * std::sin(lon_rad), 0.0};
     const LookAngles la = look_angles(site, gso_ecef);
-    if (la.elevation_deg >= min_elevation_deg) {
+    if (la.elevation() >= min_elevation) {
       samples_.push_back(la);
-      max_elevation_deg_ = std::max(max_elevation_deg_, la.elevation_deg);
+      max_elevation_ = std::max(max_elevation_, la.elevation());
     }
   }
 }
 
-double GsoArc::separation_deg(double azimuth_deg, double elevation_deg) const {
-  if (samples_.empty()) return 1e9;
+Deg GsoArc::separation(Deg azimuth, Deg elevation) const {
+  if (samples_.empty()) return Deg(1e9);
   double best = 1e9;
   for (const LookAngles& s : samples_) {
-    best = std::min(best, sky_separation_deg(azimuth_deg, elevation_deg,
-                                             s.azimuth_deg, s.elevation_deg));
+    best = std::min(best,
+                    sky_separation_deg(azimuth.value(), elevation.value(),
+                                       s.azimuth_deg, s.elevation_deg));
   }
-  return best;
+  return Deg(best);
 }
 
 }  // namespace starlab::geo

@@ -14,28 +14,28 @@
 
 #include "geo/geodetic.hpp"
 #include "geo/topocentric.hpp"
+#include "geo/units.hpp"
 
 namespace starlab::geo {
 
 class GsoArc {
  public:
   /// Precompute the GSO arc in the sky of `site`. The arc is sampled at
-  /// `step_deg` of GSO longitude across all longitudes where the arc is above
-  /// `min_elevation_deg`.
-  explicit GsoArc(const Geodetic& site, double step_deg = 0.5,
-                  double min_elevation_deg = -5.0);
+  /// `step` of GSO longitude across all longitudes where the arc is above
+  /// `min_elevation`.
+  explicit GsoArc(const Geodetic& site, Deg step = Deg(0.5),
+                  Deg min_elevation = Deg(-5.0));
 
-  /// Smallest angular separation [deg] between the sky position (az, el) and
-  /// the visible GSO arc. Returns +inf-like large value (1e9) if no part of
-  /// the arc is visible from the site (|latitude| > ~81 deg).
-  [[nodiscard]] double separation_deg(double azimuth_deg,
-                                      double elevation_deg) const;
+  /// Smallest angular separation between the sky position (az, el) and the
+  /// visible GSO arc. Returns a +inf-like large value (1e9 deg) if no part
+  /// of the arc is visible from the site (|latitude| > ~81 deg).
+  [[nodiscard]] Deg separation(Deg azimuth, Deg elevation) const;
 
   /// True if the sky position violates the GSO exclusion zone of
-  /// `protection_deg` half-width.
-  [[nodiscard]] bool excluded(double azimuth_deg, double elevation_deg,
-                              double protection_deg) const {
-    return separation_deg(azimuth_deg, elevation_deg) < protection_deg;
+  /// `protection` half-width.
+  [[nodiscard]] bool excluded(Deg azimuth, Deg elevation,
+                              Deg protection) const {
+    return separation(azimuth, elevation) < protection;
   }
 
   /// The sampled arc (for plotting and tests). Ordered by GSO longitude.
@@ -45,11 +45,11 @@ class GsoArc {
 
   /// Highest elevation the arc reaches in this sky (the arc's culmination,
   /// due south in the northern hemisphere).
-  [[nodiscard]] double max_elevation_deg() const { return max_elevation_deg_; }
+  [[nodiscard]] Deg max_elevation() const { return max_elevation_; }
 
  private:
   std::vector<LookAngles> samples_;
-  double max_elevation_deg_ = -90.0;
+  Deg max_elevation_{-90.0};
 };
 
 }  // namespace starlab::geo

@@ -13,8 +13,8 @@ std::vector<Candidate> Terminal::candidates(
        catalog.visible_from(config_.site, jd, config_.min_elevation.value())) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
-    c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
-                                        config_.gso_protection.value());
+    c.gso_excluded = gso_arc_->excluded(e.look.azimuth(), e.look.elevation(),
+                                        config_.gso_protection);
     c.sky = std::move(e);
     out.push_back(std::move(c));
   }
@@ -30,8 +30,8 @@ std::vector<Candidate> Terminal::candidates_from_snapshots(
            snapshots, config_.site, jd, config_.min_elevation.value())) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
-    c.gso_excluded = gso_arc_->excluded(e.look.azimuth_deg, e.look.elevation_deg,
-                                        config_.gso_protection.value());
+    c.gso_excluded = gso_arc_->excluded(e.look.azimuth(), e.look.elevation(),
+                                        config_.gso_protection);
     c.sky = std::move(e);
     out.push_back(std::move(c));
   }

@@ -29,7 +29,7 @@ double ThroughputProber::capacity_share_mbps(
     double unix_sec) const {
   (void)unix_sec;
   const double link_capacity = rf::shannon_capacity_mbps(
-      config_.link, allocation.look.range_km, config_.efficiency);
+      config_.link, allocation.look.range(), config_.efficiency);
 
   // Frame cycle: the beam is time-shared across `cycle` terminals.
   const int cycle =

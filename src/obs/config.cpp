@@ -16,6 +16,8 @@ Config init_from_env() {
       cfg.metrics = true;
     } else if (value == "trace" || value == "tracing") {
       cfg.tracing = true;
+    } else if (value == "prof" || value == "profile" || value == "profiling") {
+      cfg.profiling = true;
     } else if (value.empty() || value == "0" || value == "off") {
       cfg = Config::disabled();
     }

@@ -16,24 +16,29 @@ struct Config {
   bool metrics = false;
   /// Tracing live: ObsSpan records into the TraceRecorder.
   bool tracing = false;
+  /// Profiling live: ObsSpan closes aggregate into the span Profiler.
+  bool profiling = false;
 
   [[nodiscard]] static Config disabled() { return {}; }
-  [[nodiscard]] static Config all() { return {true, true}; }
+  [[nodiscard]] static Config all() { return {true, true, true}; }
 };
 
 namespace detail {
 inline std::atomic<bool> g_metrics{false};
 inline std::atomic<bool> g_tracing{false};
+inline std::atomic<bool> g_profiling{false};
 }  // namespace detail
 
 inline void set_config(const Config& config) {
   detail::g_metrics.store(config.metrics, std::memory_order_relaxed);
   detail::g_tracing.store(config.tracing, std::memory_order_relaxed);
+  detail::g_profiling.store(config.profiling, std::memory_order_relaxed);
 }
 
 [[nodiscard]] inline Config config() {
   return {detail::g_metrics.load(std::memory_order_relaxed),
-          detail::g_tracing.load(std::memory_order_relaxed)};
+          detail::g_tracing.load(std::memory_order_relaxed),
+          detail::g_profiling.load(std::memory_order_relaxed)};
 }
 
 [[nodiscard]] inline bool metrics_enabled() {
@@ -44,15 +49,19 @@ inline void set_config(const Config& config) {
   return detail::g_tracing.load(std::memory_order_relaxed);
 }
 
+[[nodiscard]] inline bool profiling_enabled() {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+
 /// Any instrumentation live at all (gates stage-timer clock reads).
 [[nodiscard]] inline bool enabled() {
-  return metrics_enabled() || tracing_enabled();
+  return metrics_enabled() || tracing_enabled() || profiling_enabled();
 }
 
 /// Apply the STARLAB_OBS environment variable, if set: "" or "0" leaves the
-/// null sink, "metrics" / "trace" enable one side, "1" / "all" enable both.
-/// Returns the resulting config. Benches call this so instrumented runs
-/// need no code change.
+/// null sink, "metrics" / "trace" / "prof" enable one side, "1" / "all"
+/// enable everything. Returns the resulting config. Benches call this so
+/// instrumented runs need no code change.
 Config init_from_env();
 
 }  // namespace starlab::obs

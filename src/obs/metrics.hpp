@@ -8,6 +8,7 @@
 // registration mutex, which the hot path never takes.
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -20,6 +21,11 @@
 namespace starlab::obs {
 
 class MetricsRegistry;
+
+/// Prometheus text-exposition escaping (HELP text: `\` and newline; label
+/// values additionally `"`), exposed for the metrics conformance tests.
+[[nodiscard]] std::string prometheus_escape_help(const std::string& s);
+[[nodiscard]] std::string prometheus_escape_label(const std::string& s);
 
 namespace detail {
 
@@ -96,8 +102,12 @@ class Histogram {
  public:
   Histogram() = default;
 
+  /// Non-finite observations are rejected: a single NaN would otherwise
+  /// poison `sum` forever, and ±Inf would land in a bucket while making the
+  /// mean meaningless.
   void observe(double v) const {
     if (cell_ == nullptr || !metrics_enabled()) return;
+    if (!std::isfinite(v)) return;
     const std::vector<double>& ub = cell_->upper_bounds;
     std::size_t i = 0;
     while (i < ub.size() && v > ub[i]) ++i;

@@ -1,0 +1,269 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "obs/json_writer.hpp"
+
+namespace starlab::obs {
+
+void P2Quantile::observe(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+      increments_[0] = 0.0;
+      increments_[1] = q_ / 2.0;
+      increments_[2] = q_;
+      increments_[3] = (1.0 + q_) / 2.0;
+      increments_[4] = 1.0;
+    }
+    return;
+  }
+  ++count_;
+
+  int k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction; fall back to linear when it would
+      // cross a neighboring marker.
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(std::string_view path, std::uint64_t dur_ns) {
+  const check::MutexLock lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(std::string(path), Node{}).first;
+    it->second.min_ns = dur_ns;
+    it->second.max_ns = dur_ns;
+  }
+  Node& node = it->second;
+  node.count += 1;
+  node.total_ns += dur_ns;
+  node.min_ns = std::min(node.min_ns, dur_ns);
+  node.max_ns = std::max(node.max_ns, dur_ns);
+  const auto dur = static_cast<double>(dur_ns);
+  node.p50.observe(dur);
+  node.p95.observe(dur);
+}
+
+void Profiler::clear() {
+  const check::MutexLock lock(mu_);
+  nodes_.clear();
+}
+
+std::size_t Profiler::size() const {
+  const check::MutexLock lock(mu_);
+  return nodes_.size();
+}
+
+std::vector<SpanStats> Profiler::snapshot() const {
+  // Copy the stats out under the lock, then do tree assembly unlocked.
+  std::map<std::string, SpanStats> stats;
+  {
+    const check::MutexLock lock(mu_);
+    for (const auto& [path, node] : nodes_) {
+      SpanStats s;
+      s.path = path;
+      s.count = node.count;
+      s.total_ns = node.total_ns;
+      s.min_ns = node.min_ns;
+      s.max_ns = node.max_ns;
+      s.p50_ns = node.p50.value();
+      s.p95_ns = node.p95.value();
+      stats.emplace(path, std::move(s));
+    }
+  }
+
+  // Synthesize ancestors whose spans have not closed yet (e.g. a snapshot
+  // taken inside pipeline.run sees pipeline.run;stage but not pipeline.run).
+  std::vector<std::string> missing;
+  for (const auto& [path, s] : stats) {
+    std::string prefix = path;
+    std::size_t cut;
+    while ((cut = prefix.rfind(';')) != std::string::npos) {
+      prefix.resize(cut);
+      if (stats.find(prefix) == stats.end()) missing.push_back(prefix);
+    }
+  }
+  for (const std::string& path : missing) {
+    SpanStats s;
+    s.path = path;
+    stats.emplace(path, std::move(s));
+  }
+
+  // A path's lexicographic position is always after its parent's (a prefix
+  // sorts before any extension), so one ordered pass resolves parents.
+  std::vector<SpanStats> out;
+  out.reserve(stats.size());
+  std::map<std::string, int, std::less<>> index;
+  for (auto& [path, s] : stats) {
+    const std::size_t cut = path.rfind(';');
+    s.name = cut == std::string::npos ? path : path.substr(cut + 1);
+    s.depth = static_cast<std::uint32_t>(
+        std::count(path.begin(), path.end(), ';'));
+    s.parent =
+        cut == std::string::npos
+            ? -1
+            : index.find(std::string_view(path).substr(0, cut))->second;
+    index.emplace(path, static_cast<int>(out.size()));
+    out.push_back(std::move(s));
+  }
+
+  // Self time: total minus direct children's totals (clamped: a synthesized
+  // ancestor has total 0 but positive children).
+  std::vector<std::uint64_t> child_total(out.size(), 0);
+  for (const SpanStats& s : out) {
+    if (s.parent >= 0) {
+      child_total[static_cast<std::size_t>(s.parent)] += s.total_ns;
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].self_ns =
+        out[i].total_ns > child_total[i] ? out[i].total_ns - child_total[i] : 0;
+  }
+  return out;
+}
+
+std::string Profiler::report_json() const {
+  const std::vector<SpanStats> spans = snapshot();
+
+  // Roll up by leaf span name (the granularity budget ceilings use).
+  struct NameStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+  };
+  std::map<std::string, NameStats> names;
+  for (const SpanStats& s : spans) {
+    NameStats& n = names[s.name];
+    n.count += s.count;
+    n.total_ns += s.total_ns;
+    n.self_ns += s.self_ns;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind");
+  w.value("profile");
+  w.key("spans");
+  w.begin_array();
+  for (const SpanStats& s : spans) {
+    w.begin_object();
+    w.key("path");
+    w.value(s.path);
+    w.key("name");
+    w.value(s.name);
+    w.key("parent");
+    w.value(static_cast<std::int64_t>(s.parent));
+    w.key("depth");
+    w.value(static_cast<std::uint64_t>(s.depth));
+    w.key("count");
+    w.value(s.count);
+    w.key("total_ns");
+    w.value(s.total_ns);
+    w.key("self_ns");
+    w.value(s.self_ns);
+    w.key("min_ns");
+    w.value(s.min_ns);
+    w.key("max_ns");
+    w.value(s.max_ns);
+    w.key("p50_ns");
+    w.value(s.p50_ns);
+    w.key("p95_ns");
+    w.value(s.p95_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("names");
+  w.begin_array();
+  for (const auto& [name, n] : names) {
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.key("count");
+    w.value(n.count);
+    w.key("total_ns");
+    w.value(n.total_ns);
+    w.key("self_ns");
+    w.value(n.self_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Profiler::collapsed_stacks() const {
+  std::string out;
+  for (const SpanStats& s : snapshot()) {
+    if (s.count == 0) continue;  // synthesized ancestor, nothing to attribute
+    out += s.path;
+    out += ' ';
+    out += std::to_string(s.self_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace starlab::obs

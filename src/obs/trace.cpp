@@ -5,6 +5,7 @@
 
 #include "obs/clock.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/prof.hpp"
 
 namespace starlab::obs {
 
@@ -12,6 +13,9 @@ namespace {
 std::atomic<std::uint32_t> g_next_tid{1};
 thread_local std::uint32_t t_tid = 0;
 thread_local std::uint32_t t_depth = 0;
+/// The calling thread's open profiled spans, outermost first. Views point
+/// at the owning ObsSpan's name_, which outlives every nested span.
+thread_local std::vector<std::string_view> t_prof_path;
 }  // namespace
 
 TraceRecorder& TraceRecorder::instance() {
@@ -87,23 +91,45 @@ std::uint32_t ObsSpan::thread_id() {
 }
 
 ObsSpan::ObsSpan(std::string_view name) {
-  if (!tracing_enabled()) return;
+  const bool tracing = tracing_enabled();
+  const bool profiling = profiling_enabled();
+  if (!tracing && !profiling) return;
   name_ = name;
   start_ns_ = monotonic_ns();
-  depth_ = t_depth++;
-  active_ = true;
+  if (tracing) {
+    depth_ = t_depth++;
+    active_ = true;
+  }
+  if (profiling) {
+    t_prof_path.push_back(name_);
+    prof_active_ = true;
+  }
 }
 
 ObsSpan::~ObsSpan() {
-  if (!active_) return;
-  --t_depth;
-  TraceEvent e;
-  e.name = std::move(name_);
-  e.start_ns = start_ns_;
-  e.dur_ns = monotonic_ns() - start_ns_;
-  e.tid = thread_id();
-  e.depth = depth_;
-  TraceRecorder::instance().record(std::move(e));
+  if (!active_ && !prof_active_) return;
+  // One duration measurement shared by the trace event and the profiler, so
+  // per-name totals in the two exports reconcile exactly.
+  const std::uint64_t dur_ns = monotonic_ns() - start_ns_;
+  if (prof_active_) {
+    std::string path;
+    for (const std::string_view part : t_prof_path) {
+      if (!path.empty()) path += ';';
+      path += part;
+    }
+    t_prof_path.pop_back();
+    Profiler::instance().record(path, dur_ns);
+  }
+  if (active_) {
+    --t_depth;
+    TraceEvent e;
+    e.name = std::move(name_);
+    e.start_ns = start_ns_;
+    e.dur_ns = dur_ns;
+    e.tid = thread_id();
+    e.depth = depth_;
+    TraceRecorder::instance().record(std::move(e));
+  }
 }
 
 }  // namespace starlab::obs

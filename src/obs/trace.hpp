@@ -51,8 +51,11 @@ class TraceRecorder {
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
-/// One timed scope. Construct with tracing enabled to record; with tracing
-/// off the constructor is a single relaxed load and nothing else happens.
+/// One timed scope. Construct with tracing enabled to record an event, with
+/// profiling enabled to fold the duration into the span Profiler (both use
+/// the same single duration measurement, so trace and profile totals
+/// reconcile exactly); with both off the constructor is two relaxed loads
+/// and nothing else happens.
 class ObsSpan {
  public:
   explicit ObsSpan(std::string_view name);
@@ -69,7 +72,8 @@ class ObsSpan {
   std::string name_;
   std::uint64_t start_ns_ = 0;
   std::uint32_t depth_ = 0;
-  bool active_ = false;
+  bool active_ = false;       ///< recording a TraceEvent (tracing on at open)
+  bool prof_active_ = false;  ///< on this thread's profile path (prof at open)
 };
 
 }  // namespace starlab::obs

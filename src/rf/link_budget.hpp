@@ -9,6 +9,8 @@
 // free-space path loss, received SNR and Shannon-bounded capacity as a
 // function of slant range — and feeds the throughput model.
 
+#include "geo/units.hpp"
+
 namespace starlab::rf {
 
 /// Boltzmann constant [dBW/K/Hz].
@@ -28,24 +30,24 @@ struct LinkParams {
 [[nodiscard]] LinkParams ku_user_downlink();
 
 /// Free-space path loss [dB] for a slant range and carrier frequency.
-[[nodiscard]] double fspl_db(double range_km, double frequency_ghz);
+[[nodiscard]] double fspl_db(geo::Km range, double frequency_ghz);
 
 /// Received carrier power [dBW] at the given slant range.
 [[nodiscard]] double received_power_dbw(const LinkParams& link,
-                                        double range_km);
+                                        geo::Km range);
 
 /// Carrier-to-noise ratio [dB] at the given slant range.
-[[nodiscard]] double cn_db(const LinkParams& link, double range_km);
+[[nodiscard]] double cn_db(const LinkParams& link, geo::Km range);
 
 /// Shannon-bounded link capacity [Mbit/s] at the given slant range, scaled
 /// by an implementation efficiency in (0, 1].
 [[nodiscard]] double shannon_capacity_mbps(const LinkParams& link,
-                                           double range_km,
+                                           geo::Km range,
                                            double efficiency = 0.65);
 
 /// Transmit power [dBW] needed to hold a target C/N at the given range —
 /// the energy cost the scheduler's dark-satellite logic trades against.
-[[nodiscard]] double required_eirp_dbw(const LinkParams& link, double range_km,
+[[nodiscard]] double required_eirp_dbw(const LinkParams& link, geo::Km range,
                                        double target_cn_db);
 
 }  // namespace starlab::rf

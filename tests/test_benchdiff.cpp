@@ -1,0 +1,223 @@
+// The benchdiff regression gate on synthetic fixtures: threshold/budget
+// TOML parsing, the noise model (relative AND absolute floors), the
+// starlint-style ratchet (regressions fail, large improvements mark the
+// baseline stale), profile-report scanning, and budget-ceiling checks.
+
+#include "benchdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using benchdiff::Budgets;
+using benchdiff::Diff;
+using benchdiff::Metric;
+using benchdiff::ProfileName;
+using benchdiff::Status;
+using benchdiff::ThresholdConfig;
+
+starlab::obs::RunReport bench_report(const std::string& label) {
+  starlab::obs::RunReport r;
+  r.kind = "bench";
+  r.label = label;
+  return r;
+}
+
+std::vector<Metric> one_metric(const std::string& key, double value) {
+  std::vector<Metric> m;
+  m.push_back({key, key, value, /*gated=*/true});
+  return m;
+}
+
+TEST(BenchdiffThresholds, ParsesDefaultsAndOverrides) {
+  const ThresholdConfig cfg = benchdiff::parse_thresholds(
+      "# comment\n"
+      "[default]\n"
+      "rel = 0.25\n"
+      "abs = 40.0\n"
+      "\n"
+      "[metric.\"BM_Fast_ns_per_op\"]\n"
+      "rel = 0.50\n");
+  EXPECT_DOUBLE_EQ(cfg.fallback.rel, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.fallback.abs_floor, 40.0);
+  // Override starts from the fallback: abs stays 40 when only rel is set.
+  const benchdiff::Thresholds& fast = cfg.for_metric("BM_Fast_ns_per_op");
+  EXPECT_DOUBLE_EQ(fast.rel, 0.50);
+  EXPECT_DOUBLE_EQ(fast.abs_floor, 40.0);
+  EXPECT_DOUBLE_EQ(cfg.for_metric("unknown").rel, 0.25);
+}
+
+TEST(BenchdiffThresholds, RejectsMalformedInputWithLineNumber) {
+  try {
+    (void)benchdiff::parse_thresholds("[default]\nrel 0.25\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchdiffMetrics, ExtractsKeysAndGatesTimingsOnly) {
+  starlab::obs::RunReport r = bench_report("fig4");
+  r.add_value("alloc_ns_per_op", 120.0);
+  r.add_value("accuracy", 0.97);
+  starlab::obs::RunReport unlabeled = bench_report("");
+  unlabeled.add_value("fit_ms", 3.5);
+
+  const std::vector<Metric> m =
+      benchdiff::metrics_from_reports({r, unlabeled});
+  ASSERT_EQ(m.size(), 3u);
+  // Keys are "<label>.<name>", bare name when unlabeled.
+  bool saw_gated_timing = false, saw_ungated = false, saw_bare = false;
+  for (const Metric& x : m) {
+    if (x.key == "fig4.alloc_ns_per_op") {
+      saw_gated_timing = x.gated;
+    } else if (x.key == "fig4.accuracy") {
+      saw_ungated = !x.gated;
+    } else if (x.key == "fit_ms") {
+      saw_bare = x.gated;
+    }
+  }
+  EXPECT_TRUE(saw_gated_timing);
+  EXPECT_TRUE(saw_ungated);
+  EXPECT_TRUE(saw_bare);
+}
+
+TEST(BenchdiffDiff, WithinNoisePasses) {
+  ThresholdConfig cfg;  // rel 0.35, abs 100
+  // +20% but only +20 ns: under the absolute floor.
+  const Diff d = diff_metrics(one_metric("a_ns_per_op", 100.0),
+                              one_metric("a_ns_per_op", 120.0), cfg);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, Status::kOk);
+  EXPECT_TRUE(d.ok(false));
+}
+
+TEST(BenchdiffDiff, RegressionBeyondBothGatesFails) {
+  ThresholdConfig cfg;
+  const Diff d = diff_metrics(one_metric("a_ns_per_op", 1000.0),
+                              one_metric("a_ns_per_op", 1500.0), cfg);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, Status::kRegression);
+  EXPECT_NEAR(d.entries[0].delta_pct, 50.0, 1e-9);
+  EXPECT_EQ(d.regressions, 1);
+  EXPECT_FALSE(d.ok(false));
+  EXPECT_FALSE(d.ok(true));  // --allow-improvement never excuses regressions
+}
+
+TEST(BenchdiffDiff, LargeImprovementIsStaleUnlessAllowed) {
+  ThresholdConfig cfg;
+  const Diff d = diff_metrics(one_metric("a_ns_per_op", 1000.0),
+                              one_metric("a_ns_per_op", 400.0), cfg);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, Status::kStale);
+  EXPECT_EQ(d.stale, 1);
+  EXPECT_FALSE(d.ok(false));
+  EXPECT_TRUE(d.ok(true));
+}
+
+TEST(BenchdiffDiff, AbsoluteFloorSuppressesSubNanosecondJitter) {
+  ThresholdConfig cfg;  // abs floor 100 ns
+  // 0.3 -> 0.5 ns/op is a 66% swing but 0.2 ns of change.
+  const Diff d = diff_metrics(one_metric("tiny_ns_per_op", 0.3),
+                              one_metric("tiny_ns_per_op", 0.5), cfg);
+  EXPECT_EQ(d.entries[0].status, Status::kOk);
+  EXPECT_TRUE(d.ok(false));
+}
+
+TEST(BenchdiffDiff, UngatedMetricsNeverFail) {
+  ThresholdConfig cfg;
+  std::vector<Metric> base{{"fig8.accuracy", "accuracy", 0.9, false}};
+  std::vector<Metric> cur{{"fig8.accuracy", "accuracy", 0.2, false}};
+  const Diff d = diff_metrics(base, cur, cfg);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, Status::kInfo);
+  EXPECT_TRUE(d.ok(false));
+}
+
+TEST(BenchdiffDiff, NewAndGoneAreReportedNotFatal) {
+  ThresholdConfig cfg;
+  const Diff d = diff_metrics(one_metric("old_ns_per_op", 10.0),
+                              one_metric("new_ns_per_op", 10.0), cfg);
+  ASSERT_EQ(d.entries.size(), 2u);  // sorted by key: new before old
+  EXPECT_EQ(d.entries[0].key, "new_ns_per_op");
+  EXPECT_EQ(d.entries[0].status, Status::kNew);
+  EXPECT_EQ(d.entries[1].status, Status::kGone);
+  EXPECT_TRUE(d.ok(false));
+}
+
+TEST(BenchdiffDiff, MarkdownAndTextFormattersNameTheOffenders) {
+  ThresholdConfig cfg;
+  const Diff d = diff_metrics(one_metric("slow_ns_per_op", 1000.0),
+                              one_metric("slow_ns_per_op", 2000.0), cfg);
+  const std::string text = benchdiff::format_text(d);
+  EXPECT_NE(text.find("slow_ns_per_op"), std::string::npos);
+  const std::string md = benchdiff::format_markdown(d, "Bench diff");
+  EXPECT_NE(md.find("| `slow_ns_per_op` |"), std::string::npos);
+  EXPECT_NE(md.find("Bench diff"), std::string::npos);
+
+  const Diff clean = diff_metrics(one_metric("a_ns_per_op", 10.0),
+                                  one_metric("a_ns_per_op", 10.0), cfg);
+  EXPECT_NE(benchdiff::format_text(clean).find("within noise"),
+            std::string::npos);
+}
+
+TEST(BenchdiffBudgets, ParsesBenchmarkAndSpanTables) {
+  const Budgets b = benchdiff::parse_budgets(
+      "[benchmark]\n"
+      "\"BM_X_ns_per_op\" = 5000.0  # ceiling\n"
+      "[span]\n"
+      "\"pipeline.run\" = 1e9\n");
+  ASSERT_EQ(b.benchmark.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.benchmark.at("BM_X_ns_per_op"), 5000.0);
+  ASSERT_EQ(b.span_mean_ns.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.span_mean_ns.at("pipeline.run"), 1e9);
+}
+
+TEST(BenchdiffBudgets, ParsesProfileNamesRollup) {
+  const std::string report =
+      "{\"kind\":\"profile\",\"spans\":[{\"path\":\"run\",\"name\":\"run\","
+      "\"parent\":-1,\"depth\":0,\"count\":1,\"total_ns\":500,\"self_ns\":"
+      "500,\"min_ns\":500,\"max_ns\":500,\"p50_ns\":500.0,\"p95_ns\":500.0}"
+      "],\"names\":[{\"name\":\"run\",\"count\":1,\"total_ns\":500,"
+      "\"self_ns\":500},{\"name\":\"stage\",\"count\":4,\"total_ns\":200,"
+      "\"self_ns\":200}]}";
+  const std::vector<ProfileName> names = benchdiff::parse_profile_names(report);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0].name, "run");
+  EXPECT_EQ(names[0].count, 1u);
+  EXPECT_EQ(names[0].total_ns, 500u);
+  EXPECT_EQ(names[1].name, "stage");
+  EXPECT_EQ(names[1].count, 4u);
+}
+
+TEST(BenchdiffBudgets, ChecksCeilingsAndFlagsMissingEntries) {
+  Budgets b;
+  b.benchmark["BM_X_ns_per_op"] = 100.0;
+  b.benchmark["BM_Gone_ns_per_op"] = 100.0;
+  b.span_mean_ns["run"] = 50.0;
+
+  std::vector<Metric> metrics{{"BM_X_ns_per_op", "BM_X_ns_per_op", 80.0, true}};
+  std::vector<ProfileName> names{{"run", 4, 160}};  // mean 40 <= 50
+
+  const benchdiff::BudgetCheck c = check_budgets(b, metrics, names);
+  EXPECT_FALSE(c.ok());  // BM_Gone budgeted but absent
+  ASSERT_EQ(c.breaches.size(), 1u);
+  EXPECT_NE(c.breaches[0].find("BM_Gone_ns_per_op"), std::string::npos);
+  EXPECT_EQ(c.passes.size(), 2u);
+}
+
+TEST(BenchdiffBudgets, OverCeilingIsABreach) {
+  Budgets b;
+  b.span_mean_ns["run"] = 50.0;
+  std::vector<ProfileName> names{{"run", 2, 200}};  // mean 100 > 50
+  const benchdiff::BudgetCheck c = check_budgets(b, {}, names);
+  EXPECT_FALSE(c.ok());
+  ASSERT_EQ(c.breaches.size(), 1u);
+  EXPECT_NE(c.breaches[0].find("run"), std::string::npos);
+}
+
+}  // namespace

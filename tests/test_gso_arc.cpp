@@ -38,8 +38,8 @@ TEST(GsoArc, SouthernHemisphereSeesArcToTheNorth) {
 TEST(GsoArc, NorthSkyFarFromArc) {
   const GsoArc arc(kIowa);
   // Looking due north at 60 deg elevation is far from the southern arc.
-  EXPECT_GT(arc.separation_deg(0.0, 60.0), 60.0);
-  EXPECT_FALSE(arc.excluded(0.0, 60.0, 18.0));
+  EXPECT_GT(arc.separation(Deg(0.0), Deg(60.0)).value(), 60.0);
+  EXPECT_FALSE(arc.excluded(Deg(0.0), Deg(60.0), Deg(18.0)));
 }
 
 TEST(GsoArc, PointsOnArcAreExcluded) {
@@ -47,8 +47,8 @@ TEST(GsoArc, PointsOnArcAreExcluded) {
   for (std::size_t i = 0; i < arc.samples().size(); i += 25) {
     const LookAngles& s = arc.samples()[i];
     if (s.elevation_deg < 0.0) continue;
-    EXPECT_LT(arc.separation_deg(s.azimuth_deg, s.elevation_deg), 0.6);
-    EXPECT_TRUE(arc.excluded(s.azimuth_deg, s.elevation_deg, 18.0));
+    EXPECT_LT(arc.separation(s.azimuth(), s.elevation()).value(), 0.6);
+    EXPECT_TRUE(arc.excluded(s.azimuth(), s.elevation(), Deg(18.0)));
   }
 }
 
@@ -56,30 +56,30 @@ TEST(GsoArc, ExclusionShrinksWithProtectionAngle) {
   const GsoArc arc(kIowa);
   // A point ~10 deg above the arc's culmination.
   const double az = 180.0;
-  const double el = arc.max_elevation_deg() + 10.0;
-  EXPECT_TRUE(arc.excluded(az, el, 18.0));
-  EXPECT_FALSE(arc.excluded(az, el, 5.0));
+  const double el = arc.max_elevation().value() + 10.0;
+  EXPECT_TRUE(arc.excluded(Deg(az), Deg(el), Deg(18.0)));
+  EXPECT_FALSE(arc.excluded(Deg(az), Deg(el), Deg(5.0)));
 }
 
 TEST(GsoArc, HighLatitudeSeesNoArc) {
   // Beyond ~81 deg latitude the GSO belt is below the horizon; with a
   // min-elevation filter of +5 the arc can vanish entirely.
   const Geodetic alert{85.0, -62.0, 0.0};
-  const GsoArc arc(alert, 0.5, 5.0);
+  const GsoArc arc(alert, Deg(0.5), Deg(5.0));
   if (arc.samples().empty()) {
-    EXPECT_GT(arc.separation_deg(180.0, 45.0), 1e8);
-    EXPECT_FALSE(arc.excluded(180.0, 45.0, 18.0));
+    EXPECT_GT(arc.separation(Deg(180.0), Deg(45.0)).value(), 1e8);
+    EXPECT_FALSE(arc.excluded(Deg(180.0), Deg(45.0), Deg(18.0)));
   } else {
     // If anything survived the filter it must be barely above 5 deg.
-    EXPECT_LT(arc.max_elevation_deg(), 10.0);
+    EXPECT_LT(arc.max_elevation().value(), 10.0);
   }
 }
 
 TEST(GsoArc, SeparationIsContinuousAcrossAzimuth) {
   const GsoArc arc(kIowa);
-  double prev = arc.separation_deg(90.0, 45.0);
+  double prev = arc.separation(Deg(90.0), Deg(45.0)).value();
   for (double az = 91.0; az <= 270.0; az += 1.0) {
-    const double cur = arc.separation_deg(az, 45.0);
+    const double cur = arc.separation(Deg(az), Deg(45.0)).value();
     EXPECT_LT(std::fabs(cur - prev), 3.0) << "jump at az " << az;
     prev = cur;
   }

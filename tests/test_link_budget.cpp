@@ -9,35 +9,35 @@ namespace {
 
 TEST(LinkBudget, FsplKnownValue) {
   // Textbook: 1 km at 1 GHz -> 92.45 dB.
-  EXPECT_NEAR(fspl_db(1.0, 1.0), 92.45, 1e-9);
+  EXPECT_NEAR(fspl_db(geo::Km(1.0), 1.0), 92.45, 1e-9);
   // 550 km at 12 GHz: 92.45 + 20log10(550) + 20log10(12) ~= 168.9 dB.
-  EXPECT_NEAR(fspl_db(550.0, 12.0), 168.84, 0.1);
+  EXPECT_NEAR(fspl_db(geo::Km(550.0), 12.0), 168.84, 0.1);
 }
 
 TEST(LinkBudget, FsplInverseSquareLaw) {
   // Doubling the distance costs exactly 6.02 dB.
-  const double d1 = fspl_db(600.0, 12.0);
-  const double d2 = fspl_db(1200.0, 12.0);
+  const double d1 = fspl_db(geo::Km(600.0), 12.0);
+  const double d2 = fspl_db(geo::Km(1200.0), 12.0);
   EXPECT_NEAR(d2 - d1, 20.0 * std::log10(2.0), 1e-9);
 }
 
 TEST(LinkBudget, ReceivedPowerDecreasesWithRange) {
   const LinkParams link = ku_user_downlink();
-  EXPECT_GT(received_power_dbw(link, 550.0), received_power_dbw(link, 1100.0));
+  EXPECT_GT(received_power_dbw(link, geo::Km(550.0)), received_power_dbw(link, geo::Km(1100.0)));
 }
 
 TEST(LinkBudget, CnIsPositiveAtLeoRanges) {
   // A Starlink-like downlink closes with healthy margin at zenith and still
   // closes at the 25 deg slant range.
   const LinkParams link = ku_user_downlink();
-  EXPECT_GT(cn_db(link, 550.0), 5.0);
-  EXPECT_GT(cn_db(link, 1200.0), 0.0);
+  EXPECT_GT(cn_db(link, geo::Km(550.0)), 5.0);
+  EXPECT_GT(cn_db(link, geo::Km(1200.0)), 0.0);
 }
 
 TEST(LinkBudget, CapacityDecreasesWithRange) {
   const LinkParams link = ku_user_downlink();
-  const double near = shannon_capacity_mbps(link, 550.0);
-  const double far = shannon_capacity_mbps(link, 1200.0);
+  const double near = shannon_capacity_mbps(link, geo::Km(550.0));
+  const double far = shannon_capacity_mbps(link, geo::Km(1200.0));
   EXPECT_GT(near, far);
   // Both in a broadband-plausible window.
   EXPECT_GT(far, 50.0);
@@ -46,8 +46,8 @@ TEST(LinkBudget, CapacityDecreasesWithRange) {
 
 TEST(LinkBudget, CapacityScalesWithEfficiency) {
   const LinkParams link = ku_user_downlink();
-  EXPECT_NEAR(shannon_capacity_mbps(link, 700.0, 0.5),
-              shannon_capacity_mbps(link, 700.0, 1.0) * 0.5, 1e-9);
+  EXPECT_NEAR(shannon_capacity_mbps(link, geo::Km(700.0), 0.5),
+              shannon_capacity_mbps(link, geo::Km(700.0), 1.0) * 0.5, 1e-9);
 }
 
 TEST(LinkBudget, RequiredEirpGrowsWithRange) {
@@ -55,8 +55,8 @@ TEST(LinkBudget, RequiredEirpGrowsWithRange) {
   // +6 dB of transmit power.
   const LinkParams link = ku_user_downlink();
   const double target = 10.0;
-  const double near = required_eirp_dbw(link, 550.0, target);
-  const double far = required_eirp_dbw(link, 1100.0, target);
+  const double near = required_eirp_dbw(link, geo::Km(550.0), target);
+  const double far = required_eirp_dbw(link, geo::Km(1100.0), target);
   EXPECT_NEAR(far - near, 20.0 * std::log10(2.0), 1e-9);
 }
 
@@ -64,17 +64,17 @@ TEST(LinkBudget, RequiredEirpConsistentWithCn) {
   // Setting EIRP to the required value achieves exactly the target C/N.
   LinkParams link = ku_user_downlink();
   const double target = 12.5;
-  link.eirp_dbw = required_eirp_dbw(link, 800.0, target);
-  EXPECT_NEAR(cn_db(link, 800.0), target, 1e-9);
+  link.eirp_dbw = required_eirp_dbw(link, geo::Km(800.0), target);
+  EXPECT_NEAR(cn_db(link, geo::Km(800.0)), target, 1e-9);
 }
 
 TEST(LinkBudget, WiderBandMoreCapacityLowerCn) {
   LinkParams narrow = ku_user_downlink();
   LinkParams wide = ku_user_downlink();
   wide.bandwidth_mhz = 2.0 * narrow.bandwidth_mhz;
-  EXPECT_LT(cn_db(wide, 700.0), cn_db(narrow, 700.0));
-  EXPECT_GT(shannon_capacity_mbps(wide, 700.0),
-            shannon_capacity_mbps(narrow, 700.0));
+  EXPECT_LT(cn_db(wide, geo::Km(700.0)), cn_db(narrow, geo::Km(700.0)));
+  EXPECT_GT(shannon_capacity_mbps(wide, geo::Km(700.0)),
+            shannon_capacity_mbps(narrow, geo::Km(700.0)));
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "obs/config.hpp"
 #include "obs/metrics.hpp"
 
@@ -125,6 +127,70 @@ TEST_F(ObsMetrics, PrometheusTextGolden) {
             "starlab_test_sizes_bucket{le=\"+Inf\"} 3\n"
             "starlab_test_sizes_sum 11\n"
             "starlab_test_sizes_count 3\n");
+}
+
+TEST_F(ObsMetrics, PrometheusEscapesHelpAndLabelValues) {
+  // HELP lines escape backslash and newline; label values additionally
+  // escape the double quote (Prometheus text-exposition rules).
+  EXPECT_EQ(obs::prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(obs::prometheus_escape_help("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_escape_label("say \"hi\"\\now\n"),
+            "say \\\"hi\\\"\\\\now\\n");
+
+  obs::MetricsRegistry reg;
+  const obs::Counter c =
+      reg.counter("starlab_test_esc_total", "line one\nline \\two");
+  c.add();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(
+      text.find("# HELP starlab_test_esc_total line one\\nline \\\\two\n"),
+      std::string::npos);
+  // The escaped HELP stays one physical line.
+  EXPECT_EQ(text.find("line one\nline"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, CounterSampleNameGetsTotalSuffix) {
+  // OpenMetrics: counter samples are `<name>_total`. A counter registered
+  // without the suffix gains it in the exposition; one registered with it
+  // is left alone (no `_total_total`).
+  obs::MetricsRegistry reg;
+  reg.counter("starlab_test_events").add(2);
+  reg.counter("starlab_test_done_total").add(3);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE starlab_test_events_total counter\n"
+                      "starlab_test_events_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starlab_test_done_total 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, HistogramRejectsNonFiniteObservations) {
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("starlab_test_nan", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  // Only the finite observation landed; sum stays finite (a single NaN
+  // would otherwise poison _sum forever).
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+TEST_F(ObsMetrics, HistogramImplicitInfBucketEqualsCount) {
+  // The +Inf bucket is cumulative over everything, always equal to _count —
+  // even when every observation overflows the finite bounds.
+  obs::MetricsRegistry reg;
+  const obs::Histogram h = reg.histogram("starlab_test_over", {1.0});
+  h.observe(50.0);
+  h.observe(60.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("starlab_test_over_bucket{le=\"1\"} 0\n"
+                      "starlab_test_over_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starlab_test_over_count 2\n"), std::string::npos);
 }
 
 TEST_F(ObsMetrics, JsonExportGolden) {

@@ -46,8 +46,9 @@ TEST(Terminal, GsoExclusionRemovesSouthernHighSky) {
     for (const Candidate& c : iowa.candidates(small_scenario().catalog(), jd)) {
       if (c.gso_excluded) {
         saw_excluded = true;
-        EXPECT_LT(iowa.gso_arc().separation_deg(c.sky.look.azimuth_deg,
-                                                c.sky.look.elevation_deg),
+        EXPECT_LT(iowa.gso_arc()
+                      .separation(c.sky.look.azimuth(), c.sky.look.elevation())
+                      .value(),
                   18.0);
         break;
       }

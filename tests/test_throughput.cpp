@@ -79,7 +79,7 @@ TEST(Throughput, CapacityShareMatchesLinkBudgetScale) {
       small_scenario().terminal(0), *alloc,
       small_scenario().grid().slot_mid(alloc->slot));
   const double full_link = rf::shannon_capacity_mbps(
-      rf::ku_user_downlink(), alloc->look.range_km, 0.65);
+      rf::ku_user_downlink(), alloc->look.range(), 0.65);
   EXPECT_GT(share, 0.0);
   EXPECT_LT(share, full_link);  // cycle + load always take a cut
 }

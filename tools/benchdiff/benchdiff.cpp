@@ -1,0 +1,391 @@
+#include "benchdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace benchdiff {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + why);
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strip a trailing # comment (quotes-aware) and trim.
+std::string strip_comment(const std::string& s) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_string = !in_string;
+    if (s[i] == '#' && !in_string) return trim(s.substr(0, i));
+  }
+  return trim(s);
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+double parse_double(const std::string& s, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) fail(line, "trailing characters after number");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "expected a number, got '" + s + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "number out of range: '" + s + "'");
+  }
+}
+
+/// Unquote `"name"`; bare keys pass through.
+std::string unquote(const std::string& s, std::size_t line) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  if (s.find('"') != std::string::npos) fail(line, "malformed quoted key");
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const Thresholds& ThresholdConfig::for_metric(const std::string& name) const {
+  const auto it = per_metric.find(name);
+  return it == per_metric.end() ? fallback : it->second;
+}
+
+ThresholdConfig parse_thresholds(const std::string& text) {
+  ThresholdConfig config;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  Thresholds* section = nullptr;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = strip_comment(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') fail(lineno, "malformed section header");
+      const std::string header = trim(t.substr(1, t.size() - 2));
+      if (header == "default") {
+        section = &config.fallback;
+      } else if (header.rfind("metric.", 0) == 0) {
+        const std::string name = unquote(trim(header.substr(7)), lineno);
+        if (name.empty()) fail(lineno, "empty metric name");
+        section = &config.per_metric[name];
+        *section = config.fallback;  // overrides start from the defaults
+      } else {
+        fail(lineno, "unknown section [" + header + "]");
+      }
+      continue;
+    }
+    if (section == nullptr) fail(lineno, "key outside a section");
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key = value");
+    const std::string key = trim(t.substr(0, eq));
+    const double value = parse_double(trim(t.substr(eq + 1)), lineno);
+    if (key == "rel") {
+      section->rel = value;
+    } else if (key == "abs") {
+      section->abs_floor = value;
+    } else {
+      fail(lineno, "unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+ThresholdConfig load_thresholds(const std::string& path) {
+  try {
+    return parse_thresholds(read_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<Metric> metrics_from_reports(
+    const std::vector<starlab::obs::RunReport>& reports) {
+  std::vector<Metric> out;
+  for (const starlab::obs::RunReport& r : reports) {
+    for (const auto& [name, value] : r.values) {
+      Metric m;
+      m.name = name;
+      m.key = r.label.empty() ? name : r.label + "." + name;
+      m.value = value;
+      m.gated = has_suffix(name, "_ns_per_op") || has_suffix(name, "_ns") ||
+                has_suffix(name, "_us") || has_suffix(name, "_ms") ||
+                has_suffix(name, "_seconds");
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+Diff diff_metrics(const std::vector<Metric>& baseline,
+                  const std::vector<Metric>& current,
+                  const ThresholdConfig& thresholds) {
+  std::map<std::string, const Metric*> base_by_key;
+  for (const Metric& m : baseline) base_by_key[m.key] = &m;
+  std::map<std::string, const Metric*> cur_by_key;
+  for (const Metric& m : current) cur_by_key[m.key] = &m;
+
+  Diff diff;
+  for (const auto& [key, cur] : cur_by_key) {
+    Entry e;
+    e.key = key;
+    e.name = cur->name;
+    e.current = cur->value;
+    const auto base = base_by_key.find(key);
+    if (base == base_by_key.end()) {
+      e.status = Status::kNew;
+      diff.entries.push_back(std::move(e));
+      continue;
+    }
+    e.baseline = base->second->value;
+    const double delta = e.current - e.baseline;
+    e.delta_pct = e.baseline != 0.0 ? 100.0 * delta / e.baseline
+                                    : (delta == 0.0 ? 0.0 : 100.0);
+    if (cur->gated) {
+      const Thresholds& th = thresholds.for_metric(cur->name);
+      if (delta > th.rel * std::abs(e.baseline) && delta > th.abs_floor) {
+        e.status = Status::kRegression;
+        ++diff.regressions;
+      } else if (-delta > th.rel * std::abs(e.baseline) &&
+                 -delta > th.abs_floor) {
+        e.status = Status::kStale;
+        ++diff.stale;
+      }
+    } else if (e.current != e.baseline) {
+      e.status = Status::kInfo;
+    }
+    diff.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, base] : base_by_key) {
+    if (cur_by_key.find(key) != cur_by_key.end()) continue;
+    Entry e;
+    e.key = key;
+    e.name = base->name;
+    e.baseline = base->value;
+    e.status = Status::kGone;
+    diff.entries.push_back(std::move(e));
+  }
+  std::sort(diff.entries.begin(), diff.entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return diff;
+}
+
+namespace {
+
+const char* status_word(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRegression:
+      return "REGRESSION";
+    case Status::kStale:
+      return "STALE";
+    case Status::kNew:
+      return "new";
+    case Status::kGone:
+      return "gone";
+    case Status::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_text(const Diff& diff) {
+  std::string out;
+  for (const Entry& e : diff.entries) {
+    if (e.status == Status::kOk) continue;
+    char buf[256];
+    if (e.status == Status::kNew) {
+      std::snprintf(buf, sizeof(buf), "benchdiff: %-10s %s = %s\n",
+                    status_word(e.status), e.key.c_str(),
+                    format_value(e.current).c_str());
+    } else if (e.status == Status::kGone) {
+      std::snprintf(buf, sizeof(buf), "benchdiff: %-10s %s (baseline %s)\n",
+                    status_word(e.status), e.key.c_str(),
+                    format_value(e.baseline).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "benchdiff: %-10s %s: %s -> %s (%+.1f%%)\n",
+                    status_word(e.status), e.key.c_str(),
+                    format_value(e.baseline).c_str(),
+                    format_value(e.current).c_str(), e.delta_pct);
+    }
+    out += buf;
+  }
+  if (out.empty()) out = "benchdiff: all metrics within noise thresholds\n";
+  return out;
+}
+
+std::string format_markdown(const Diff& diff, const std::string& title) {
+  std::string out = "### " + title + "\n\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d regression(s), %d stale, %zu metric(s)",
+                diff.regressions, diff.stale, diff.entries.size());
+  out += std::string(buf) + "\n\n";
+  out += "| metric | baseline | current | delta | status |\n";
+  out += "|---|---:|---:|---:|---|\n";
+  for (const Entry& e : diff.entries) {
+    out += "| `" + e.key + "` | ";
+    out += e.status == Status::kNew ? "—" : format_value(e.baseline);
+    out += " | ";
+    out += e.status == Status::kGone ? "—" : format_value(e.current);
+    out += " | ";
+    if (e.status == Status::kNew || e.status == Status::kGone) {
+      out += "—";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%+.1f%%", e.delta_pct);
+      out += buf;
+    }
+    out += " | ";
+    out += status_word(e.status);
+    out += " |\n";
+  }
+  return out;
+}
+
+Budgets parse_budgets(const std::string& text) {
+  Budgets budgets;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::map<std::string, double>* section = nullptr;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = strip_comment(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') fail(lineno, "malformed section header");
+      const std::string header = trim(t.substr(1, t.size() - 2));
+      if (header == "benchmark") {
+        section = &budgets.benchmark;
+      } else if (header == "span") {
+        section = &budgets.span_mean_ns;
+      } else {
+        fail(lineno, "unknown section [" + header + "]");
+      }
+      continue;
+    }
+    if (section == nullptr) fail(lineno, "key outside a section");
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key = value");
+    const std::string key = unquote(trim(t.substr(0, eq)), lineno);
+    if (key.empty()) fail(lineno, "empty budget key");
+    (*section)[key] = parse_double(trim(t.substr(eq + 1)), lineno);
+  }
+  return budgets;
+}
+
+Budgets load_budgets(const std::string& path) {
+  try {
+    return parse_budgets(read_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<ProfileName> parse_profile_names(const std::string& text) {
+  std::vector<ProfileName> out;
+  const std::size_t names = text.find("\"names\":[");
+  if (names == std::string::npos) return out;
+  std::size_t at = names + 9;
+  while (true) {
+    const std::size_t name_key = text.find("\"name\":\"", at);
+    if (name_key == std::string::npos) break;
+    const std::size_t open = name_key + 8;
+    const std::size_t close = text.find('"', open);
+    if (close == std::string::npos) break;
+    ProfileName p;
+    p.name = text.substr(open, close - open);
+    const auto number_after = [&](const char* key) -> std::uint64_t {
+      const std::size_t k = text.find(key, close);
+      if (k == std::string::npos) return 0;
+      return std::strtoull(text.c_str() + k + std::strlen(key), nullptr, 10);
+    };
+    p.count = number_after("\"count\":");
+    p.total_ns = number_after("\"total_ns\":");
+    out.push_back(std::move(p));
+    at = close + 1;
+  }
+  return out;
+}
+
+BudgetCheck check_budgets(const Budgets& budgets,
+                          const std::vector<Metric>& bench_metrics,
+                          const std::vector<ProfileName>& profile_names) {
+  BudgetCheck check;
+  // A budget ceiling names a bench value; the value may appear under
+  // several labels (rare) — every occurrence must hold.
+  for (const auto& [name, ceiling] : budgets.benchmark) {
+    bool found = false;
+    for (const Metric& m : bench_metrics) {
+      if (m.name != name) continue;
+      found = true;
+      const std::string line = m.key + ": " + format_value(m.value) +
+                               (m.value <= ceiling ? " <= " : " > ") +
+                               format_value(ceiling);
+      (m.value <= ceiling ? check.passes : check.breaches).push_back(line);
+    }
+    if (!found) {
+      check.breaches.push_back(name + ": budgeted but absent from bench data");
+    }
+  }
+  for (const auto& [name, ceiling] : budgets.span_mean_ns) {
+    bool found = false;
+    for (const ProfileName& p : profile_names) {
+      if (p.name != name) continue;
+      found = true;
+      if (p.count == 0) {
+        check.breaches.push_back("span " + name + ": zero recorded calls");
+        continue;
+      }
+      const double mean =
+          static_cast<double>(p.total_ns) / static_cast<double>(p.count);
+      const std::string line = "span " + name + ": mean " +
+                               format_value(mean) + " ns" +
+                               (mean <= ceiling ? " <= " : " > ") +
+                               format_value(ceiling) + " ns";
+      (mean <= ceiling ? check.passes : check.breaches).push_back(line);
+    }
+    if (!found) {
+      check.breaches.push_back("span " + name +
+                               ": budgeted but absent from profile report");
+    }
+  }
+  return check;
+}
+
+}  // namespace benchdiff

@@ -1,0 +1,147 @@
+#pragma once
+
+// benchdiff — the perf side of the starlint ratchet (see
+// docs/OBSERVABILITY.md, "Regression gate"). Compares the RunReport JSONL
+// the benches emit (BENCH_*.json) against a committed baseline directory
+// with per-metric noise thresholds, and checks declarative perf budgets
+// (bench/budgets.toml) against bench values and profile reports. A library
+// so tests/test_benchdiff.cpp can drive the diff logic on synthetic
+// fixtures; the CLI lives in main.cpp.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/run_report.hpp"
+
+namespace benchdiff {
+
+/// Noise gate for one metric: a change is significant only when it exceeds
+/// BOTH the relative fraction and the absolute floor (in the metric's own
+/// unit, ns for the *_ns_per_op values). The floor keeps a 0.3 ns -> 0.5 ns
+/// jitter on a sub-nanosecond bench from reading as a 66 % regression.
+struct Thresholds {
+  double rel = 0.35;
+  double abs_floor = 100.0;
+};
+
+struct ThresholdConfig {
+  Thresholds fallback;
+  /// Overrides keyed by metric (value) name, e.g. "BM_Sgp4Propagate_ns_per_op".
+  std::map<std::string, Thresholds> per_metric;
+
+  [[nodiscard]] const Thresholds& for_metric(const std::string& name) const;
+};
+
+/// Parse the benchdiff.toml threshold file:
+///   [default]
+///   rel = 0.35
+///   abs = 100.0
+///   [metric."BM_Sgp4Propagate_ns_per_op"]
+///   rel = 0.50
+///   abs = 50.0
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] ThresholdConfig parse_thresholds(const std::string& text);
+[[nodiscard]] ThresholdConfig load_thresholds(const std::string& path);
+
+/// One comparable number extracted from a RunReport: key is
+/// "<label>.<value name>" ("<value name>" when the label is empty). `gated`
+/// marks lower-is-better timing metrics (name ends in _ns, _ns_per_op, _us,
+/// _ms or _seconds); everything else is reported informationally but never
+/// fails the gate (accuracy-style values have no universal direction).
+struct Metric {
+  std::string key;
+  std::string name;  ///< value name without the label prefix
+  double value = 0.0;
+  bool gated = false;
+};
+
+[[nodiscard]] std::vector<Metric> metrics_from_reports(
+    const std::vector<starlab::obs::RunReport>& reports);
+
+enum class Status {
+  kOk,          ///< within noise
+  kRegression,  ///< gated metric slower beyond threshold -> fail
+  kStale,       ///< gated metric faster beyond threshold -> stale baseline
+  kNew,         ///< present now, absent from baseline
+  kGone,        ///< baselined, absent now
+  kInfo,        ///< ungated metric changed
+};
+
+struct Entry {
+  std::string key;
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_pct = 0.0;  ///< 100 * (current - baseline) / baseline
+  Status status = Status::kOk;
+};
+
+struct Diff {
+  std::vector<Entry> entries;  ///< sorted by key
+  int regressions = 0;
+  int stale = 0;
+
+  /// Ratchet semantics mirroring starlint's baseline: regressions always
+  /// fail; a large unexplained improvement marks the committed baseline
+  /// stale and fails too unless explicitly allowed (cross-machine runs pass
+  /// --allow-improvement, since a faster runner is not a stale baseline).
+  [[nodiscard]] bool ok(bool allow_improvement) const {
+    return regressions == 0 && (allow_improvement || stale == 0);
+  }
+};
+
+[[nodiscard]] Diff diff_metrics(const std::vector<Metric>& baseline,
+                                const std::vector<Metric>& current,
+                                const ThresholdConfig& thresholds);
+
+/// Plain-text summary (one line per non-OK entry, or "all within noise").
+[[nodiscard]] std::string format_text(const Diff& diff);
+
+/// Markdown table for CI logs/summaries.
+[[nodiscard]] std::string format_markdown(const Diff& diff,
+                                          const std::string& title);
+
+// ---- Perf budgets (bench/budgets.toml) ----
+
+/// Declarative ceilings. [benchmark] keys are bench value names and the
+/// ceiling is in the value's own unit (ns/op for *_ns_per_op); [span] keys
+/// are span names from the obs::Profiler report and the ceiling is mean
+/// nanoseconds per call (total_ns / count).
+struct Budgets {
+  std::map<std::string, double> benchmark;
+  std::map<std::string, double> span_mean_ns;
+};
+
+[[nodiscard]] Budgets parse_budgets(const std::string& text);
+[[nodiscard]] Budgets load_budgets(const std::string& path);
+
+/// One "names" rollup entry scanned out of a Profiler::report_json() file.
+struct ProfileName {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Extract the "names" array of a profile report. Targeted scan of our own
+/// json_writer output (same spirit as starlint's compdb scan), not a
+/// general JSON parser.
+[[nodiscard]] std::vector<ProfileName> parse_profile_names(
+    const std::string& text);
+
+struct BudgetCheck {
+  std::vector<std::string> breaches;  ///< over ceiling, or budgeted-but-absent
+  std::vector<std::string> passes;    ///< "name: value <= ceiling" lines
+
+  [[nodiscard]] bool ok() const { return breaches.empty(); }
+};
+
+/// Every budget entry must be present and under its ceiling; a budgeted
+/// metric or span that is absent is a breach (a renamed benchmark must not
+/// silently disarm its budget).
+[[nodiscard]] BudgetCheck check_budgets(
+    const Budgets& budgets, const std::vector<Metric>& bench_metrics,
+    const std::vector<ProfileName>& profile_names);
+
+}  // namespace benchdiff

@@ -1,0 +1,198 @@
+// benchdiff — noise-aware bench regression gate and perf-budget checker.
+//
+//   benchdiff [--baseline DIR] [--thresholds FILE] [--markdown FILE]
+//             [--budgets FILE] [--profile FILE] [--allow-improvement]
+//             [--write-baseline] [--verbose] BENCH_*.json...
+//
+// Each positional file is RunReport JSONL as written by bench::ReportSink;
+// it is compared against <baseline DIR>/<basename>. Ratchet semantics
+// mirror starlint: a regression beyond the noise thresholds fails, and so
+// does a large unexplained improvement (stale baseline) unless
+// --allow-improvement is given (CI runners faster than the machine that
+// wrote the baseline are improvements, not staleness). --write-baseline
+// copies the current files into the baseline directory instead of
+// comparing. --budgets checks declarative ceilings against the bench
+// values and (with --profile) a Profiler::report_json() file.
+//
+// Exit codes: 0 clean, 1 regression/stale/budget breach, 2 usage/IO error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchdiff.hpp"
+#include "io/report_io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string baseline_dir = "bench/baselines";
+  std::string thresholds_path;
+  std::string markdown_path;
+  std::string budgets_path;
+  std::string profile_path;
+  bool allow_improvement = false;
+  bool write_baseline = false;
+  bool verbose = false;
+  std::vector<std::string> files;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--baseline DIR] [--thresholds FILE] [--markdown FILE]\n"
+               "       [--budgets FILE] [--profile FILE]"
+               " [--allow-improvement]\n"
+               "       [--write-baseline] [--verbose] BENCH_*.json...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string& into) {
+      if (i + 1 >= argc) {
+        std::cerr << "benchdiff: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      into = argv[++i];
+    };
+    if (arg == "--baseline") {
+      value(opt.baseline_dir);
+    } else if (arg == "--thresholds") {
+      value(opt.thresholds_path);
+    } else if (arg == "--markdown") {
+      value(opt.markdown_path);
+    } else if (arg == "--budgets") {
+      value(opt.budgets_path);
+    } else if (arg == "--profile") {
+      value(opt.profile_path);
+    } else if (arg == "--allow-improvement") {
+      opt.allow_improvement = true;
+    } else if (arg == "--write-baseline") {
+      opt.write_baseline = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  if (opt.files.empty() && opt.budgets_path.empty()) return usage(argv[0]);
+
+  try {
+    if (opt.write_baseline) {
+      fs::create_directories(opt.baseline_dir);
+      for (const std::string& file : opt.files) {
+        // Round-trip through the parser: a malformed current file must not
+        // become a malformed committed baseline.
+        const std::vector<starlab::obs::RunReport> reports =
+            starlab::io::load_run_reports_file(file);
+        const std::string dest =
+            (fs::path(opt.baseline_dir) / fs::path(file).filename()).string();
+        starlab::io::save_run_reports_file(dest, reports);
+        std::cout << "benchdiff: wrote baseline " << dest << " ("
+                  << reports.size() << " report(s))\n";
+      }
+      return 0;
+    }
+
+    const benchdiff::ThresholdConfig thresholds =
+        opt.thresholds_path.empty()
+            ? benchdiff::ThresholdConfig{}
+            : benchdiff::load_thresholds(opt.thresholds_path);
+
+    bool gate_ok = true;
+    std::string markdown;
+    std::vector<benchdiff::Metric> all_current;
+
+    for (const std::string& file : opt.files) {
+      const std::vector<benchdiff::Metric> current =
+          benchdiff::metrics_from_reports(
+              starlab::io::load_run_reports_file(file));
+      all_current.insert(all_current.end(), current.begin(), current.end());
+
+      const std::string base_name = fs::path(file).filename().string();
+      const fs::path base_path = fs::path(opt.baseline_dir) / base_name;
+      if (!fs::exists(base_path)) {
+        std::cout << "benchdiff: " << base_name
+                  << ": no baseline committed (seed with --write-baseline)\n";
+        markdown += "### " + base_name + "\n\nno baseline committed\n\n";
+        continue;
+      }
+      const std::vector<benchdiff::Metric> baseline =
+          benchdiff::metrics_from_reports(
+              starlab::io::load_run_reports_file(base_path.string()));
+
+      const benchdiff::Diff diff =
+          benchdiff::diff_metrics(baseline, current, thresholds);
+      std::cout << "== " << base_name << " vs " << base_path.string() << "\n";
+      std::cout << benchdiff::format_text(diff);
+      if (opt.verbose) {
+        for (const benchdiff::Entry& e : diff.entries) {
+          if (e.status == benchdiff::Status::kOk) {
+            std::cout << "benchdiff: ok         " << e.key << ": "
+                      << e.baseline << " -> " << e.current << "\n";
+          }
+        }
+      }
+      markdown += benchdiff::format_markdown(diff, base_name) + "\n";
+      if (!diff.ok(opt.allow_improvement)) gate_ok = false;
+    }
+
+    if (!opt.budgets_path.empty()) {
+      const benchdiff::Budgets budgets =
+          benchdiff::load_budgets(opt.budgets_path);
+      std::vector<benchdiff::ProfileName> names;
+      if (!opt.profile_path.empty()) {
+        std::ifstream in(opt.profile_path, std::ios::binary);
+        if (!in) {
+          throw std::runtime_error("cannot read " + opt.profile_path);
+        }
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        names = benchdiff::parse_profile_names(text);
+      }
+      const benchdiff::BudgetCheck check =
+          benchdiff::check_budgets(budgets, all_current, names);
+      for (const std::string& p : check.passes) {
+        std::cout << "benchdiff: budget ok   " << p << "\n";
+      }
+      for (const std::string& b : check.breaches) {
+        std::cout << "benchdiff: BUDGET     " << b << "\n";
+      }
+      markdown += "### budgets\n\n";
+      markdown += std::to_string(check.breaches.size()) + " breach(es), " +
+                  std::to_string(check.passes.size()) + " within budget\n";
+      if (!check.ok()) gate_ok = false;
+    }
+
+    if (!opt.markdown_path.empty()) {
+      std::ofstream out(opt.markdown_path);
+      if (!out) {
+        throw std::runtime_error("cannot write " + opt.markdown_path);
+      }
+      out << markdown;
+    }
+
+    if (!gate_ok) {
+      std::cout << "benchdiff: FAILED\n";
+      return 1;
+    }
+    std::cout << "benchdiff: clean\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "benchdiff: " << e.what() << "\n";
+    return 2;
+  }
+}
