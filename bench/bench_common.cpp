@@ -27,6 +27,15 @@ const core::Scenario& half_scenario() {
   return *scenario;
 }
 
+const core::Scenario& gen2_scenario() {
+  static const auto scenario = [] {
+    core::ScenarioConfig cfg = core::Scenario::default_config(1.0);
+    cfg.constellation.gen2 = true;
+    return std::make_unique<core::Scenario>(std::move(cfg));
+  }();
+  return *scenario;
+}
+
 const core::CampaignData& standard_campaign() {
   static const core::CampaignData data = [] {
     obs::Stopwatch timer;

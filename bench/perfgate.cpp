@@ -6,7 +6,11 @@
 // order-of-magnitude regressions (an accidentally quadratic loop, a cache
 // bypass), not scheduler jitter on a loaded CI runner.
 //
-//   perfgate [--out=perfgate_prof.json] [--collapsed=PATH]
+//   perfgate [--out=perfgate_prof.json] [--collapsed=PATH] [--gen2]
+//
+// --gen2 swaps in the Gen2 constellation (Gen1 shells plus the 120x45
+// extension shell) at the same 1/8 scale, for the budgets_gen2.toml span
+// ceilings.
 
 #include <cstdio>
 #include <cstring>
@@ -33,14 +37,18 @@ int main(int argc, char** argv) {
 
   std::string out_path = "perfgate_prof.json";
   std::string collapsed_path;
+  bool gen2 = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--out")) {
       out_path = v;
     } else if (const char* v2 = flag_value(argv[i], "--collapsed")) {
       collapsed_path = v2;
+    } else if (std::strcmp(argv[i], "--gen2") == 0) {
+      gen2 = true;
     } else {
       std::fprintf(stderr,
-                   "usage: perfgate [--out=PATH] [--collapsed=PATH]\n");
+                   "usage: perfgate [--out=PATH] [--collapsed=PATH] "
+                   "[--gen2]\n");
       return 2;
     }
   }
@@ -50,8 +58,11 @@ int main(int argc, char** argv) {
   cfg.profiling = true;
   obs::set_config(cfg);
 
-  std::printf("[perfgate] building 1/8-scale scenario...\n");
-  const core::Scenario scenario(core::Scenario::default_config(0.125));
+  std::printf("[perfgate] building 1/8-scale %s scenario...\n",
+              gen2 ? "Gen2" : "Gen1");
+  core::ScenarioConfig scenario_cfg = core::Scenario::default_config(0.125);
+  scenario_cfg.constellation.gen2 = gen2;
+  const core::Scenario scenario(std::move(scenario_cfg));
   const core::InferencePipeline pipeline(scenario);
 
   std::printf("[perfgate] running pipeline (terminal 0, 15 min)...\n");

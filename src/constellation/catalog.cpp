@@ -6,6 +6,7 @@
 #include "exec/thread_pool.hpp"
 #include "geo/frames.hpp"
 #include "sun/eclipse.hpp"
+#include "sun/solar_ephemeris.hpp"
 
 namespace starlab::constellation {
 
@@ -33,6 +34,10 @@ std::string month_label_of(const time::UtcTime& t) {
   return buf;
 }
 
+/// Minimum satellites per chunk when partitioning a batch propagation:
+/// below this, queueing a chunk costs more than running it inline.
+constexpr std::size_t kPropagateChunkGrain = 256;
+
 }  // namespace
 
 Catalog::Catalog(Constellation constellation)
@@ -43,6 +48,7 @@ Catalog::Catalog(Constellation constellation)
     ephemerides_.emplace_back(r.tle);
   }
   build_norad_index();
+  build_batch_structures();
 }
 
 Catalog::Catalog(const std::vector<tle::Tle>& tles) {
@@ -72,6 +78,15 @@ Catalog::Catalog(const std::vector<tle::Tle>& tles) {
     ephemerides_.emplace_back(r.tle);
   }
   build_norad_index();
+  build_batch_structures();
+}
+
+void Catalog::build_batch_structures() {
+  soa_.reserve(records_.size());
+  for (const sgp4::Ephemeris& e : ephemerides_) {
+    soa_.push_back(e.propagator().constants());
+  }
+  index_.build(soa_);
 }
 
 void Catalog::build_norad_index() {
@@ -87,89 +102,165 @@ std::optional<std::size_t> Catalog::index_of(int norad_id) const {
   return it->second;
 }
 
-std::vector<Catalog::Snapshot> Catalog::propagate_all(
+std::vector<Catalog::Snapshot> Catalog::propagate_all_batch(
     const time::JulianDate& jd) const {
   std::vector<Snapshot> out(records_.size());
+  // Hoisted per-instant values: the Earth-rotation angle and the Sun
+  // position are functions of jd alone, so one evaluation serves every
+  // satellite (bit-identical to evaluating them per satellite).
+  const geo::TemeToEcefRotation rot = geo::teme_to_ecef_rotation(jd);
+  const geo::TemeKm sun_teme = sun::sun_position_teme(jd);
   // Each satellite's snapshot depends only on its own index, so the static
   // partition keeps the result bit-identical at any thread count.
-  exec::default_pool().parallel_for(records_.size(), [&](std::size_t i) {
-    try {
-      const sgp4::StateVector st = ephemerides_[i].state_teme(jd);
-      const geo::TemeKm teme(st.position_km);
-      out[i].valid = true;
-      out[i].teme_km = teme;
-      out[i].ecef_km = geo::teme_to_ecef(teme, jd);
-      out[i].sunlit = sun::is_sunlit(teme, jd);
-    } catch (const sgp4::Sgp4Error&) {
-      out[i].valid = false;
-    }
-  });
+  exec::default_pool().parallel_for_chunks(
+      records_.size(), kPropagateChunkGrain,
+      [&](std::size_t begin, std::size_t end) {
+        sgp4::StateVector st;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double tsince = jd.minutes_since(soa_.epoch(i));
+          if (soa_.propagate(i, tsince, st) != sgp4::PropagateStatus::kOk) {
+            out[i].valid = false;
+            continue;
+          }
+          const geo::TemeKm teme(st.position_km);
+          out[i].valid = true;
+          out[i].teme_km = teme;
+          out[i].ecef_km = rot.apply(teme);
+          out[i].sunlit = sun::is_sunlit(teme, sun_teme);
+        }
+      });
   return out;
+}
+
+/// Pre-cull range shared by every visibility path: a satellite below the
+/// elevation cut is certainly farther than the horizon-limited slant range
+/// for the highest shell (~1200 km for a 600 km shell at 25 deg), so 3000 km
+/// straight-line distance rejects cheaply before the full topocentric
+/// transform.
+static constexpr double kCullRangeKm = 3000.0;
+
+bool Catalog::sky_entry_from_snapshot(std::size_t i, const Snapshot& snap,
+                                      const geo::Geodetic& observer,
+                                      const geo::EcefKm& obs_ecef,
+                                      double unix_sec,
+                                      geo::Deg min_elevation,
+                                      SkyEntry& e) const {
+  if (!snap.valid) return false;
+  if ((snap.ecef_km - obs_ecef).norm() > kCullRangeKm) return false;
+
+  const geo::LookAngles look = geo::look_angles(observer, snap.ecef_km);
+  if (look.elevation_deg < min_elevation.value()) return false;
+
+  e.norad_id = records_[i].tle.norad_id;
+  e.catalog_index = i;
+  e.look = look;
+  e.sunlit = snap.sunlit;
+  e.age_days = records_[i].age_days(unix_sec);
+  e.position_teme_km = snap.teme_km;
+  return true;
+}
+
+bool Catalog::sky_entry_at(std::size_t i, const geo::Geodetic& observer,
+                           const geo::EcefKm& obs_ecef,
+                           const time::JulianDate& jd, double unix_sec,
+                           geo::Deg min_elevation, SkyEntry& e) const {
+  sgp4::StateVector st;
+  try {
+    st = ephemerides_[i].state_teme(jd);
+  } catch (const sgp4::Sgp4Error&) {
+    return false;  // decayed satellites silently leave the sky
+  }
+  const geo::TemeKm teme(st.position_km);
+  const geo::EcefKm ecef = geo::teme_to_ecef(teme, jd);
+  if ((ecef - obs_ecef).norm() > kCullRangeKm) return false;
+
+  const geo::LookAngles look = geo::look_angles(observer, ecef);
+  if (look.elevation_deg < min_elevation.value()) return false;
+
+  e.norad_id = records_[i].tle.norad_id;
+  e.catalog_index = i;
+  e.look = look;
+  e.sunlit = sun::is_sunlit(teme, jd);
+  e.age_days = records_[i].age_days(unix_sec);
+  e.position_teme_km = teme;
+  return true;
 }
 
 std::vector<SkyEntry> Catalog::visible_from_snapshots(
     std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
-    const time::JulianDate& jd, double min_elevation_deg) const {
+    const time::JulianDate& jd, geo::Deg min_elevation) const {
+  std::vector<std::uint32_t> cand;
+  if (!index_.candidates(observer, jd, min_elevation, cand)) {
+    return visible_from_snapshots_scan(snapshots, observer, jd,
+                                       min_elevation);
+  }
   std::vector<SkyEntry> out;
   const double unix_sec = jd.to_unix_seconds();
   const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
-  constexpr double kCullRangeKm = 3000.0;
+  // The index returns a superset of the visible set in ascending catalog
+  // order, so re-running the exact check yields the same entries in the
+  // same order as the exhaustive scan.
+  SkyEntry e;
+  for (const std::uint32_t i : cand) {
+    if (i >= snapshots.size()) break;
+    if (sky_entry_from_snapshot(i, snapshots[i], observer, obs_ecef, unix_sec,
+                                min_elevation, e)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
 
+std::vector<SkyEntry> Catalog::visible_from_snapshots_scan(
+    std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
+    const time::JulianDate& jd, geo::Deg min_elevation) const {
+  std::vector<SkyEntry> out;
+  const double unix_sec = jd.to_unix_seconds();
+  const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
+
+  SkyEntry e;
   for (std::size_t i = 0; i < records_.size() && i < snapshots.size(); ++i) {
-    const Snapshot& snap = snapshots[i];
-    if (!snap.valid) continue;
-    if ((snap.ecef_km - obs_ecef).norm() > kCullRangeKm) continue;
-
-    const geo::LookAngles look = geo::look_angles(observer, snap.ecef_km);
-    if (look.elevation_deg < min_elevation_deg) continue;
-
-    SkyEntry e;
-    e.norad_id = records_[i].tle.norad_id;
-    e.catalog_index = i;
-    e.look = look;
-    e.sunlit = snap.sunlit;
-    e.age_days = records_[i].age_days(unix_sec);
-    e.position_teme_km = snap.teme_km;
-    out.push_back(e);
+    if (sky_entry_from_snapshot(i, snapshots[i], observer, obs_ecef, unix_sec,
+                                min_elevation, e)) {
+      out.push_back(e);
+    }
   }
   return out;
 }
 
 std::vector<SkyEntry> Catalog::visible_from(const geo::Geodetic& observer,
                                             const time::JulianDate& jd,
-                                            double min_elevation_deg) const {
+                                            geo::Deg min_elevation) const {
+  std::vector<std::uint32_t> cand;
+  if (!index_.candidates(observer, jd, min_elevation, cand)) {
+    return visible_from_scan(observer, jd, min_elevation);
+  }
   std::vector<SkyEntry> out;
   const double unix_sec = jd.to_unix_seconds();
   const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
-  // Cheap pre-cull: a satellite below `min_elevation_deg` is certainly
-  // farther than the horizon-limited slant range for the highest shell.
-  // For a 600 km shell and 25 deg minimum elevation the slant range is
-  // ~1200 km; we cull at 3000 km straight-line distance before running the
-  // full topocentric transform.
-  constexpr double kCullRangeKm = 3000.0;
-
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    sgp4::StateVector st;
-    try {
-      st = ephemerides_[i].state_teme(jd);
-    } catch (const sgp4::Sgp4Error&) {
-      continue;  // decayed satellites silently leave the sky
+  SkyEntry e;
+  for (const std::uint32_t i : cand) {
+    if (sky_entry_at(i, observer, obs_ecef, jd, unix_sec, min_elevation,
+                     e)) {
+      out.push_back(e);
     }
-    const geo::TemeKm teme(st.position_km);
-    const geo::EcefKm ecef = geo::teme_to_ecef(teme, jd);
-    if ((ecef - obs_ecef).norm() > kCullRangeKm) continue;
+  }
+  return out;
+}
 
-    const geo::LookAngles look = geo::look_angles(observer, ecef);
-    if (look.elevation_deg < min_elevation_deg) continue;
+std::vector<SkyEntry> Catalog::visible_from_scan(
+    const geo::Geodetic& observer, const time::JulianDate& jd,
+    geo::Deg min_elevation) const {
+  std::vector<SkyEntry> out;
+  const double unix_sec = jd.to_unix_seconds();
+  const geo::EcefKm obs_ecef = geo::geodetic_to_ecef(observer);
 
-    SkyEntry e;
-    e.norad_id = records_[i].tle.norad_id;
-    e.catalog_index = i;
-    e.look = look;
-    e.sunlit = sun::is_sunlit(teme, jd);
-    e.age_days = records_[i].age_days(unix_sec);
-    e.position_teme_km = teme;
-    out.push_back(e);
+  SkyEntry e;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (sky_entry_at(i, observer, obs_ecef, jd, unix_sec, min_elevation,
+                     e)) {
+      out.push_back(e);
+    }
   }
   return out;
 }

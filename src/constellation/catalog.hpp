@@ -10,9 +10,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "constellation/spatial_index.hpp"
 #include "constellation/synthesizer.hpp"
 #include "geo/geodetic.hpp"
 #include "geo/topocentric.hpp"
+#include "sgp4/batch.hpp"
 #include "sgp4/ephemeris.hpp"
 #include "time/julian_date.hpp"
 
@@ -56,13 +58,22 @@ class Catalog {
     return ephemerides_[index];
   }
 
-  /// All satellites above `min_elevation_deg` in the observer's sky at `jd`,
+  /// All satellites above `min_elevation` in the observer's sky at `jd`,
   /// with illumination and age annotated. This is the paper's "available
   /// satellites" set (~40 entries for a Starlink-density constellation at
-  /// 25 deg).
+  /// 25 deg). Served through the spatial index (O(visible) satellites
+  /// propagated); falls back to visible_from_scan outside the index's
+  /// validity window. Byte-identical to the scan either way.
   [[nodiscard]] std::vector<SkyEntry> visible_from(
       const geo::Geodetic& observer, const time::JulianDate& jd,
-      double min_elevation_deg = 25.0) const;
+      geo::Deg min_elevation = geo::Deg(25.0)) const;
+
+  /// Exhaustive O(catalog) reference for visible_from: propagates and tests
+  /// every satellite. Kept public as the cross-check oracle for the spatial
+  /// index (tests assert byte-identical results).
+  [[nodiscard]] std::vector<SkyEntry> visible_from_scan(
+      const geo::Geodetic& observer, const time::JulianDate& jd,
+      geo::Deg min_elevation = geo::Deg(25.0)) const;
 
   /// One satellite's propagated snapshot at a fixed instant, shared across
   /// observers (TEME/ECEF positions are observer-independent).
@@ -75,15 +86,37 @@ class Catalog {
 
   /// Propagate the whole catalog once for an instant. Campaigns evaluating
   /// several terminals at the same slot call this once and then
-  /// visible_from_snapshots() per terminal. Partitioned over satellites on
-  /// the exec::default_pool(); bit-identical at any thread count.
+  /// visible_from_snapshots() per terminal. Delegates to
+  /// propagate_all_batch; bit-identical at any thread count.
   [[nodiscard]] std::vector<Snapshot> propagate_all(
+      const time::JulianDate& jd) const {
+    return propagate_all_batch(jd);
+  }
+
+  /// The batch propagation core: walks the structure-of-arrays SGP4
+  /// constants in a tight per-chunk loop on the exec::default_pool(), with
+  /// the TEME->ECEF rotation and the solar ephemeris hoisted to one
+  /// evaluation per instant. Bit-identical to constructing each Snapshot
+  /// from Sgp4::propagate / teme_to_ecef / sun::is_sunlit per satellite
+  /// (unit-tested), and bit-identical at any thread count.
+  [[nodiscard]] std::vector<Snapshot> propagate_all_batch(
       const time::JulianDate& jd) const;
 
-  /// visible_from() against precomputed snapshots.
+  /// visible_from() against precomputed snapshots. Served through the
+  /// spatial index like visible_from(); byte-identical to
+  /// visible_from_snapshots_scan.
   [[nodiscard]] std::vector<SkyEntry> visible_from_snapshots(
       std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
-      const time::JulianDate& jd, double min_elevation_deg = 25.0) const;
+      const time::JulianDate& jd, geo::Deg min_elevation = geo::Deg(25.0)) const;
+
+  /// Exhaustive O(catalog) reference for visible_from_snapshots.
+  [[nodiscard]] std::vector<SkyEntry> visible_from_snapshots_scan(
+      std::span<const Snapshot> snapshots, const geo::Geodetic& observer,
+      const time::JulianDate& jd, geo::Deg min_elevation = geo::Deg(25.0)) const;
+
+  /// The spatial candidate index built over this catalog (for tests and
+  /// diagnostics).
+  [[nodiscard]] const SpatialIndex& spatial_index() const { return index_; }
 
   /// Look angles of one satellite from an observer (no elevation cut).
   [[nodiscard]] geo::LookAngles look_at(std::size_t index,
@@ -95,9 +128,29 @@ class Catalog {
   /// the former linear scan's first-match semantics).
   void build_norad_index();
 
+  /// Copy each ephemeris's constant set into the SoA store and build the
+  /// spatial index over it. Called at the end of both constructors.
+  void build_batch_structures();
+
+  /// The exact per-satellite visibility check shared by the indexed and
+  /// exhaustive paths (this sharing is what makes them byte-identical).
+  /// Returns true and fills `e` when satellite `i` clears the cut.
+  bool sky_entry_at(std::size_t i, const geo::Geodetic& observer,
+                    const geo::EcefKm& obs_ecef, const time::JulianDate& jd,
+                    double unix_sec, geo::Deg min_elevation,
+                    SkyEntry& e) const;
+
+  /// Snapshot-based variant of sky_entry_at.
+  bool sky_entry_from_snapshot(std::size_t i, const Snapshot& snap,
+                               const geo::Geodetic& observer,
+                               const geo::EcefKm& obs_ecef, double unix_sec,
+                               geo::Deg min_elevation, SkyEntry& e) const;
+
   std::vector<SatelliteRecord> records_;
   std::vector<LaunchBatch> launches_;
   std::vector<sgp4::Ephemeris> ephemerides_;
+  sgp4::SoaConstants soa_;
+  SpatialIndex index_;
   std::unordered_map<int, std::size_t> index_by_norad_;
 };
 

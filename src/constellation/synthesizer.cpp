@@ -44,9 +44,12 @@ Constellation synthesize(const SynthesizerConfig& config) {
     WalkerElement element;
     int shell;
   };
+  std::vector<WalkerShell> shells = config.shells;
+  if (config.gen2) shells.push_back(starlink_gen2_shell());
+
   std::vector<Slot> slots;
-  for (std::size_t sh = 0; sh < config.shells.size(); ++sh) {
-    for (const WalkerElement& e : generate_walker(config.shells[sh])) {
+  for (std::size_t sh = 0; sh < shells.size(); ++sh) {
+    for (const WalkerElement& e : generate_walker(shells[sh])) {
       slots.push_back({e, static_cast<int>(sh)});
     }
   }
@@ -132,11 +135,11 @@ Constellation synthesize(const SynthesizerConfig& config) {
       t.nddot_over_6 = 0.0;
       t.bstar = config.bstar;
       t.element_set_number = 999;
-      t.inclination_deg = slot.element.inclination_deg;
-      t.raan_deg = slot.element.raan_deg;
+      t.inclination_deg = slot.element.inclination.value();
+      t.raan_deg = slot.element.raan.value();
       t.eccentricity = 0.0001;  // near-circular, like the operational shells
       t.arg_perigee_deg = 90.0;
-      t.mean_anomaly_deg = slot.element.mean_anomaly_deg;
+      t.mean_anomaly_deg = slot.element.mean_anomaly.value();
       t.mean_motion_rev_per_day = slot.element.mean_motion_rev_per_day;
       t.rev_number = 1;
 

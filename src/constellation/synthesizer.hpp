@@ -57,6 +57,10 @@ enum class LaunchOrdering {
 
 struct SynthesizerConfig {
   std::vector<WalkerShell> shells = starlink_gen1_shells();
+  /// Append the Gen2 extension shell (120x45 at 525 km) to `shells`,
+  /// growing the catalog to ~9.6k satellites at scale 1. Defaults off so
+  /// Gen1 goldens are untouched.
+  bool gen2 = false;
   /// Keep only every k-th satellite (k == 1/scale) to trade fidelity for
   /// speed in tests. 1.0 == full constellation.
   double scale = 1.0;

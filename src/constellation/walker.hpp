@@ -9,17 +9,19 @@
 
 #include <vector>
 
+#include "geo/units.hpp"
+
 namespace starlab::constellation {
 
 /// One Walker-delta shell specification (i:T/P/F in Walker notation, with
 /// T == planes * sats_per_plane).
 struct WalkerShell {
-  double inclination_deg = 53.0;
-  double altitude_km = 550.0;
+  geo::Deg inclination{53.0};
+  geo::Km altitude{550.0};
   int planes = 72;
   int sats_per_plane = 22;
   int phasing = 1;  ///< F in Walker notation, 0 <= F < planes
-  double raan_offset_deg = 0.0;  ///< rotation of the whole pattern
+  geo::Deg raan_offset{0.0};  ///< rotation of the whole pattern
 
   [[nodiscard]] int total_satellites() const { return planes * sats_per_plane; }
 };
@@ -28,16 +30,16 @@ struct WalkerShell {
 struct WalkerElement {
   int plane = 0;
   int slot = 0;
-  double inclination_deg = 0.0;
-  double raan_deg = 0.0;          ///< right ascension of ascending node
-  double mean_anomaly_deg = 0.0;
-  double altitude_km = 0.0;
+  geo::Deg inclination{0.0};
+  geo::Deg raan{0.0};          ///< right ascension of ascending node
+  geo::Deg mean_anomaly{0.0};
+  geo::Km altitude{0.0};
   double mean_motion_rev_per_day = 0.0;
 };
 
 /// Mean motion [rev/day] of a circular orbit at the given altitude (WGS-72,
 /// Keplerian two-body; SGP4's J2 correction is absorbed at parse time).
-[[nodiscard]] double circular_mean_motion_rev_per_day(double altitude_km);
+[[nodiscard]] double circular_mean_motion_rev_per_day(geo::Km altitude);
 
 /// All satellite slots of a shell, ordered plane-major.
 [[nodiscard]] std::vector<WalkerElement> generate_walker(const WalkerShell& shell);
@@ -46,5 +48,12 @@ struct WalkerElement {
 /// (~4000 satellites): 53.0 deg/550 km 72x22, 53.2 deg/540 km 72x22,
 /// 70 deg/570 km 36x20, 97.6 deg/560 km 6x58.
 [[nodiscard]] std::vector<WalkerShell> starlink_gen1_shells();
+
+/// The Gen2 extension shell from the FCC Gen2 filing's first tranche:
+/// 53 deg, 525 km, 120 planes x 45 slots (5400 satellites).
+[[nodiscard]] WalkerShell starlink_gen2_shell();
+
+/// Gen1 plus the Gen2 extension shell (~9.6k satellites total).
+[[nodiscard]] std::vector<WalkerShell> starlink_gen2_shells();
 
 }  // namespace starlab::constellation

@@ -177,8 +177,16 @@ CampaignData run_campaign(const Scenario& scenario,
   stages.propagate = st_propagate;
   stages.candidates = st_candidates;
   stages.allocate = st_allocate;
+  // Each chunk pays queueing plus a stage-stat merge under the mutex, and a
+  // slot costs a whole catalog propagation anyway — so never split below
+  // four slots per chunk. Short benchmark slices (a dozen slots) otherwise
+  // shard into single-slot chunks on wide pools and run slower at eight
+  // threads than at one. The partition only changes which worker computes a
+  // slot, never the per-slot results, so output stays bit-identical.
+  constexpr std::size_t kMinSlotsPerChunk = 4;
   exec::default_pool().parallel_for_chunks(
-      slot_ids.size(), [&](std::size_t begin, std::size_t end) {
+      slot_ids.size(), kMinSlotsPerChunk,
+      [&](std::size_t begin, std::size_t end) {
         // Per-chunk stage clocks, merged once at chunk end so the shared
         // report never sees concurrent writes.
         obs::StageStat local_propagate, local_candidates, local_allocate;

@@ -98,12 +98,15 @@ bool ThreadPool::run_one_task() {
 }
 
 void ThreadPool::parallel_for_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t n, std::size_t min_per_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const PoolMetrics& metrics = PoolMetrics::get();
 
+  if (min_per_chunk == 0) min_per_chunk = 1;
   const auto threads = static_cast<std::size_t>(num_threads_);
-  const std::size_t chunks = n < threads ? n : threads;
+  const std::size_t max_chunks = n / min_per_chunk > 0 ? n / min_per_chunk : 1;
+  const std::size_t chunks = max_chunks < threads ? max_chunks : threads;
   // Serial fallback (num_threads == 1), nested call from a worker, or a
   // problem too small to split: run inline on the caller, lock-free.
   if (chunks <= 1 || t_on_worker) {

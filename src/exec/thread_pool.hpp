@@ -50,7 +50,21 @@ class ThreadPool {
   /// chunk finished.
   void parallel_for_chunks(
       std::size_t n, const std::function<void(std::size_t, std::size_t)>& body)
-      EXCLUDES(mu_);
+      EXCLUDES(mu_) {
+    parallel_for_chunks(n, 1, body);
+  }
+
+  /// Like the two-argument overload, but never splits finer than
+  /// `min_per_chunk` indices per chunk: chunk count is
+  /// min(num_threads, max(1, n / min_per_chunk)). Callers whose per-chunk
+  /// body has a fixed setup cost (campaign slots each rebuilding scratch
+  /// state, for example) pass the grain so a small n runs in a few big
+  /// chunks instead of num_threads() tiny ones. Chunk boundaries still
+  /// depend only on (n, min_per_chunk, num_threads), so results stay
+  /// bit-identical at any thread count.
+  void parallel_for_chunks(
+      std::size_t n, std::size_t min_per_chunk,
+      const std::function<void(std::size_t, std::size_t)>& body) EXCLUDES(mu_);
 
   /// Per-index convenience over parallel_for_chunks: f(i) for i in [0, n).
   template <typename F>

@@ -19,6 +19,12 @@ EcefKm teme_to_ecef(const TemeKm& teme_km,
   return EcefKm(rotate_z(teme_km.raw(), -starlab::time::gmst_radians(jd_utc)));
 }
 
+TemeToEcefRotation teme_to_ecef_rotation(
+    const starlab::time::JulianDate& jd_utc) {
+  const double angle = -starlab::time::gmst_radians(jd_utc);
+  return {std::cos(angle), std::sin(angle)};
+}
+
 TemeKm ecef_to_teme(const EcefKm& ecef_km,
                     const starlab::time::JulianDate& jd_utc) {
   return TemeKm(rotate_z(ecef_km.raw(), starlab::time::gmst_radians(jd_utc)));

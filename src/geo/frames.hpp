@@ -18,6 +18,26 @@ namespace starlab::geo {
 [[nodiscard]] EcefKm teme_to_ecef(const TemeKm& teme_km,
                                   const starlab::time::JulianDate& jd_utc);
 
+/// The TEME -> ECEF rotation at one UTC instant, precomputed so a batch
+/// loop over a whole catalog pays cos/sin of GMST once per instant instead
+/// of once per satellite. Applying it is bit-identical to the JulianDate
+/// overload: both evaluate cos/sin of the same -gmst angle and the same
+/// rotate_z arithmetic.
+struct TemeToEcefRotation {
+  double cos_gmst = 1.0;  ///< cos(-gmst)
+  double sin_gmst = 0.0;  ///< sin(-gmst)
+
+  [[nodiscard]] EcefKm apply(const TemeKm& teme_km) const {
+    const Vec3& v = teme_km.raw();
+    return EcefKm(Vec3{cos_gmst * v.x - sin_gmst * v.y,
+                       sin_gmst * v.x + cos_gmst * v.y, v.z});
+  }
+};
+
+/// Precompute the TEME -> ECEF rotation for one instant.
+[[nodiscard]] TemeToEcefRotation teme_to_ecef_rotation(
+    const starlab::time::JulianDate& jd_utc);
+
 /// ECEF position [km] -> TEME position [km] at the given UTC instant.
 [[nodiscard]] TemeKm ecef_to_teme(const EcefKm& ecef_km,
                                   const starlab::time::JulianDate& jd_utc);

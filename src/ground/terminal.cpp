@@ -10,7 +10,7 @@ std::vector<Candidate> Terminal::candidates(
     const constellation::Catalog& catalog, const time::JulianDate& jd) const {
   std::vector<Candidate> out;
   for (constellation::SkyEntry& e :
-       catalog.visible_from(config_.site, jd, config_.min_elevation.value())) {
+       catalog.visible_from(config_.site, jd, config_.min_elevation)) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth(), e.look.elevation(),
@@ -27,7 +27,7 @@ std::vector<Candidate> Terminal::candidates_from_snapshots(
     const time::JulianDate& jd) const {
   std::vector<Candidate> out;
   for (constellation::SkyEntry& e : catalog.visible_from_snapshots(
-           snapshots, config_.site, jd, config_.min_elevation.value())) {
+           snapshots, config_.site, jd, config_.min_elevation)) {
     Candidate c;
     c.obstructed = config_.mask.blocked(e.look.azimuth(), e.look.elevation());
     c.gso_excluded = gso_arc_->excluded(e.look.azimuth(), e.look.elevation(),

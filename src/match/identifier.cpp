@@ -132,9 +132,9 @@ Identification SatelliteIdentifier::identify_isolated(
       snapshots.empty()
           ? catalog_.visible_from_snapshots(catalog_.propagate_all(jd_mid),
                                             terminal.site(), jd_mid,
-                                            config_.min_elevation.value())
+                                            config_.min_elevation)
           : catalog_.visible_from_snapshots(snapshots, terminal.site(), jd_mid,
-                                            config_.min_elevation.value());
+                                            config_.min_elevation);
   out.num_candidates = static_cast<int>(candidates.size());
   metrics.candidates_per_slot.observe(static_cast<double>(candidates.size()));
 

@@ -1,0 +1,118 @@
+#include "sgp4/batch.hpp"
+
+namespace starlab::sgp4 {
+
+void SoaConstants::reserve(std::size_t n) {
+  epoch_.reserve(n);
+  ecco_.reserve(n);
+  inclo_.reserve(n);
+  nodeo_.reserve(n);
+  argpo_.reserve(n);
+  mo_.reserve(n);
+  bstar_.reserve(n);
+  no_unkozai_.reserve(n);
+  isimp_.reserve(n);
+  aycof_.reserve(n);
+  con41_.reserve(n);
+  cc1_.reserve(n);
+  cc4_.reserve(n);
+  cc5_.reserve(n);
+  d2_.reserve(n);
+  d3_.reserve(n);
+  d4_.reserve(n);
+  delmo_.reserve(n);
+  eta_.reserve(n);
+  argpdot_.reserve(n);
+  omgcof_.reserve(n);
+  sinmao_.reserve(n);
+  t2cof_.reserve(n);
+  t3cof_.reserve(n);
+  t4cof_.reserve(n);
+  t5cof_.reserve(n);
+  x1mth2_.reserve(n);
+  x7thm1_.reserve(n);
+  mdot_.reserve(n);
+  nodedot_.reserve(n);
+  xlcof_.reserve(n);
+  xmcof_.reserve(n);
+  nodecf_.reserve(n);
+  ao_.reserve(n);
+}
+
+void SoaConstants::push_back(const CommonConstants& c) {
+  epoch_.push_back(c.epoch);
+  ecco_.push_back(c.ecco);
+  inclo_.push_back(c.inclo);
+  nodeo_.push_back(c.nodeo);
+  argpo_.push_back(c.argpo);
+  mo_.push_back(c.mo);
+  bstar_.push_back(c.bstar);
+  no_unkozai_.push_back(c.no_unkozai);
+  isimp_.push_back(c.isimp ? 1 : 0);
+  aycof_.push_back(c.aycof);
+  con41_.push_back(c.con41);
+  cc1_.push_back(c.cc1);
+  cc4_.push_back(c.cc4);
+  cc5_.push_back(c.cc5);
+  d2_.push_back(c.d2);
+  d3_.push_back(c.d3);
+  d4_.push_back(c.d4);
+  delmo_.push_back(c.delmo);
+  eta_.push_back(c.eta);
+  argpdot_.push_back(c.argpdot);
+  omgcof_.push_back(c.omgcof);
+  sinmao_.push_back(c.sinmao);
+  t2cof_.push_back(c.t2cof);
+  t3cof_.push_back(c.t3cof);
+  t4cof_.push_back(c.t4cof);
+  t5cof_.push_back(c.t5cof);
+  x1mth2_.push_back(c.x1mth2);
+  x7thm1_.push_back(c.x7thm1);
+  mdot_.push_back(c.mdot);
+  nodedot_.push_back(c.nodedot);
+  xlcof_.push_back(c.xlcof);
+  xmcof_.push_back(c.xmcof);
+  nodecf_.push_back(c.nodecf);
+  ao_.push_back(c.ao);
+}
+
+CommonConstants SoaConstants::load(std::size_t i) const {
+  CommonConstants c;
+  c.epoch = epoch_[i];
+  c.ecco = ecco_[i];
+  c.inclo = inclo_[i];
+  c.nodeo = nodeo_[i];
+  c.argpo = argpo_[i];
+  c.mo = mo_[i];
+  c.bstar = bstar_[i];
+  c.no_unkozai = no_unkozai_[i];
+  c.isimp = isimp_[i] != 0;
+  c.aycof = aycof_[i];
+  c.con41 = con41_[i];
+  c.cc1 = cc1_[i];
+  c.cc4 = cc4_[i];
+  c.cc5 = cc5_[i];
+  c.d2 = d2_[i];
+  c.d3 = d3_[i];
+  c.d4 = d4_[i];
+  c.delmo = delmo_[i];
+  c.eta = eta_[i];
+  c.argpdot = argpdot_[i];
+  c.omgcof = omgcof_[i];
+  c.sinmao = sinmao_[i];
+  c.t2cof = t2cof_[i];
+  c.t3cof = t3cof_[i];
+  c.t4cof = t4cof_[i];
+  c.t5cof = t5cof_[i];
+  c.x1mth2 = x1mth2_[i];
+  c.x7thm1 = x7thm1_[i];
+  c.mdot = mdot_[i];
+  c.nodedot = nodedot_[i];
+  c.xlcof = xlcof_[i];
+  c.xmcof = xmcof_[i];
+  c.nodecf = nodecf_[i];
+  c.ao = ao_[i];
+  return c;
+}
+
+}  // namespace starlab::sgp4

@@ -1,0 +1,61 @@
+#pragma once
+
+// Structure-of-arrays storage for SGP4 constant sets.
+//
+// constellation::Catalog keeps one CommonConstants per satellite. Storing
+// them as parallel arrays (one per coefficient) instead of an array of
+// structs keeps each coefficient stream contiguous, so the batch
+// propagation loop in Catalog::propagate_all walks dense cache lines and
+// the compiler can vectorize across satellites where profitable.
+//
+// Bit-identity contract: `propagate(i, t, out)` gathers satellite i's
+// coefficients back into a CommonConstants and calls the same
+// propagate_common the single-satellite Sgp4 facade uses, so batch results
+// are bit-identical to Sgp4::propagate by construction.
+
+#include <cstddef>
+#include <vector>
+
+#include "sgp4/sgp4.hpp"
+
+namespace starlab::sgp4 {
+
+class SoaConstants {
+ public:
+  void reserve(std::size_t n);
+
+  /// Append one satellite's constant set.
+  void push_back(const CommonConstants& c);
+
+  [[nodiscard]] std::size_t size() const { return epoch_.size(); }
+  [[nodiscard]] bool empty() const { return epoch_.empty(); }
+
+  /// Element-set epoch of satellite i.
+  [[nodiscard]] const time::JulianDate& epoch(std::size_t i) const {
+    return epoch_[i];
+  }
+
+  /// Gather satellite i's constants back into struct form.
+  [[nodiscard]] CommonConstants load(std::size_t i) const;
+
+  /// Propagate satellite i to `tsince_minutes` past its own epoch.
+  /// Bit-identical to Sgp4(tle).propagate(tsince_minutes).
+  [[nodiscard]] PropagateStatus propagate(std::size_t i, double tsince_minutes,
+                                          StateVector& out) const noexcept {
+    const CommonConstants c = load(i);
+    return propagate_common(c, tsince_minutes, out);
+  }
+
+ private:
+  std::vector<time::JulianDate> epoch_;
+  std::vector<double> ecco_, inclo_, nodeo_, argpo_, mo_, bstar_, no_unkozai_;
+  std::vector<unsigned char> isimp_;
+  std::vector<double> aycof_, con41_, cc1_, cc4_, cc5_;
+  std::vector<double> d2_, d3_, d4_, delmo_, eta_;
+  std::vector<double> argpdot_, omgcof_, sinmao_, t2cof_;
+  std::vector<double> t3cof_, t4cof_, t5cof_, x1mth2_;
+  std::vector<double> x7thm1_, mdot_, nodedot_, xlcof_;
+  std::vector<double> xmcof_, nodecf_, ao_;
+};
+
+}  // namespace starlab::sgp4

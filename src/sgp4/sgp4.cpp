@@ -22,15 +22,17 @@ constexpr double kTwoPi = geo::kTwoPi;
 
 }  // namespace
 
-Sgp4::Sgp4(const tle::Tle& tle) : epoch_(tle.epoch_jd()) {
-  ecco_ = tle.eccentricity;
-  inclo_ = geo::deg_to_rad(tle.inclination_deg);
-  nodeo_ = geo::deg_to_rad(tle.raan_deg);
-  argpo_ = geo::deg_to_rad(tle.arg_perigee_deg);
-  mo_ = geo::deg_to_rad(tle.mean_anomaly_deg);
-  bstar_ = tle.bstar;
+CommonConstants init_common_constants(const tle::Tle& tle) {
+  CommonConstants c;
+  c.epoch = tle.epoch_jd();
+  c.ecco = tle.eccentricity;
+  c.inclo = geo::deg_to_rad(tle.inclination_deg);
+  c.nodeo = geo::deg_to_rad(tle.raan_deg);
+  c.argpo = geo::deg_to_rad(tle.arg_perigee_deg);
+  c.mo = geo::deg_to_rad(tle.mean_anomaly_deg);
+  c.bstar = tle.bstar;
 
-  if (ecco_ < 0.0 || ecco_ >= 1.0) {
+  if (c.ecco < 0.0 || c.ecco >= 1.0) {
     throw Sgp4Error(Sgp4Error::Code::kEccentricityOutOfRange,
                     "TLE eccentricity outside [0,1)");
   }
@@ -42,10 +44,10 @@ Sgp4::Sgp4(const tle::Tle& tle) : epoch_(tle.epoch_jd()) {
   }
 
   // ---- initl: recover the Brouwer mean motion from the Kozai value. ----
-  const double eccsq = ecco_ * ecco_;
+  const double eccsq = c.ecco * c.ecco;
   const double omeosq = 1.0 - eccsq;
   const double rteosq = std::sqrt(omeosq);
-  const double cosio = std::cos(inclo_);
+  const double cosio = std::cos(c.inclo);
   const double cosio2 = cosio * cosio;
 
   const double ak = std::pow(kXke / no_kozai, kTwoThirds);
@@ -54,24 +56,24 @@ Sgp4::Sgp4(const tle::Tle& tle) : epoch_(tle.epoch_jd()) {
   const double adel =
       ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
   del = d1 / (adel * adel);
-  no_unkozai_ = no_kozai / (1.0 + del);
+  c.no_unkozai = no_kozai / (1.0 + del);
 
-  ao_ = std::pow(kXke / no_unkozai_, kTwoThirds);
-  const double sinio = std::sin(inclo_);
-  const double po = ao_ * omeosq;
+  c.ao = std::pow(kXke / c.no_unkozai, kTwoThirds);
+  const double sinio = std::sin(c.inclo);
+  const double po = c.ao * omeosq;
   const double con42 = 1.0 - 5.0 * cosio2;
-  con41_ = -con42 - 2.0 * cosio2;  // == 3*cos^2(i) - 1
+  c.con41 = -con42 - 2.0 * cosio2;  // == 3*cos^2(i) - 1
   const double posq = po * po;
-  const double rp = ao_ * (1.0 - ecco_);
+  const double rp = c.ao * (1.0 - c.ecco);
 
-  if (kTwoPi / no_unkozai_ >= 225.0) {
+  if (kTwoPi / c.no_unkozai >= 225.0) {
     throw Sgp4Error(Sgp4Error::Code::kDeepSpaceUnsupported,
                     "deep-space (period >= 225 min) element sets are not "
                     "supported; Starlink shells are all near-Earth");
   }
 
   // ---- sgp4init: drag and periodic coefficients. ----
-  isimp_ = rp < (220.0 / kRe + 1.0);
+  c.isimp = rp < (220.0 / kRe + 1.0);
 
   // Atmospheric-density reference altitudes (s4 / q0 parameters).
   double sfour = 78.0 / kRe + 1.0;
@@ -85,121 +87,124 @@ Sgp4::Sgp4(const tle::Tle& tle) : epoch_(tle.epoch_jd()) {
   }
 
   const double pinvsq = 1.0 / posq;
-  const double tsi = 1.0 / (ao_ - sfour);
-  eta_ = ao_ * ecco_ * tsi;
-  const double etasq = eta_ * eta_;
-  const double eeta = ecco_ * eta_;
+  const double tsi = 1.0 / (c.ao - sfour);
+  c.eta = c.ao * c.ecco * tsi;
+  const double etasq = c.eta * c.eta;
+  const double eeta = c.ecco * c.eta;
   const double psisq = std::fabs(1.0 - etasq);
   const double coef = qzms24 * std::pow(tsi, 4.0);
   const double coef1 = coef / std::pow(psisq, 3.5);
 
   const double cc2 =
-      coef1 * no_unkozai_ *
-      (ao_ * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
-       0.375 * kJ2 * tsi / psisq * con41_ * (8.0 + 3.0 * etasq * (8.0 + etasq)));
-  cc1_ = bstar_ * cc2;
+      coef1 * c.no_unkozai *
+      (c.ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.375 * kJ2 * tsi / psisq * c.con41 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  c.cc1 = c.bstar * cc2;
   double cc3 = 0.0;
-  if (ecco_ > 1.0e-4) {
-    cc3 = -2.0 * coef * tsi * kJ3OverJ2 * no_unkozai_ * sinio / ecco_;
+  if (c.ecco > 1.0e-4) {
+    cc3 = -2.0 * coef * tsi * kJ3OverJ2 * c.no_unkozai * sinio / c.ecco;
   }
-  x1mth2_ = 1.0 - cosio2;
-  cc4_ = 2.0 * no_unkozai_ * coef1 * ao_ * omeosq *
-         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
-          kJ2 * tsi / (ao_ * psisq) *
-              (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
-               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
-                   std::cos(2.0 * argpo_)));
-  cc5_ = 2.0 * coef1 * ao_ * omeosq *
-         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+  c.x1mth2 = 1.0 - cosio2;
+  c.cc4 = 2.0 * c.no_unkozai * coef1 * c.ao * omeosq *
+          (c.eta * (2.0 + 0.5 * etasq) + c.ecco * (0.5 + 2.0 * etasq) -
+           kJ2 * tsi / (c.ao * psisq) *
+               (-3.0 * c.con41 * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+                0.75 * c.x1mth2 * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                    std::cos(2.0 * c.argpo)));
+  c.cc5 = 2.0 * coef1 * c.ao * omeosq *
+          (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
 
   const double cosio4 = cosio2 * cosio2;
-  const double temp1 = 1.5 * kJ2 * pinvsq * no_unkozai_;
+  const double temp1 = 1.5 * kJ2 * pinvsq * c.no_unkozai;
   const double temp2 = 0.5 * temp1 * kJ2 * pinvsq;
-  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * no_unkozai_;
-  mdot_ = no_unkozai_ + 0.5 * temp1 * rteosq * con41_ +
-          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
-  argpdot_ = -0.5 * temp1 * con42 +
-             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
-             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * c.no_unkozai;
+  c.mdot = c.no_unkozai + 0.5 * temp1 * rteosq * c.con41 +
+           0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  c.argpdot = -0.5 * temp1 * con42 +
+              0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+              temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
   const double xhdot1 = -temp1 * cosio;
-  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
-                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
-                          cosio;
+  c.nodedot = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                        2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                           cosio;
 
-  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
-  xmcof_ = 0.0;
-  if (ecco_ > 1.0e-4) xmcof_ = -kTwoThirds * coef * bstar_ / eeta;
-  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
-  t2cof_ = 1.5 * cc1_;
+  c.omgcof = c.bstar * cc3 * std::cos(c.argpo);
+  c.xmcof = 0.0;
+  if (c.ecco > 1.0e-4) c.xmcof = -kTwoThirds * coef * c.bstar / eeta;
+  c.nodecf = 3.5 * omeosq * xhdot1 * c.cc1;
+  c.t2cof = 1.5 * c.cc1;
 
   // xlcof has a singularity at i == 180 deg; use the reference guard.
   if (std::fabs(cosio + 1.0) > 1.5e-12) {
-    xlcof_ = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
+    c.xlcof = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
   } else {
-    xlcof_ = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
+    c.xlcof = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
   }
-  aycof_ = -0.5 * kJ3OverJ2 * sinio;
-  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
-  sinmao_ = std::sin(mo_);
-  x7thm1_ = 7.0 * cosio2 - 1.0;
+  c.aycof = -0.5 * kJ3OverJ2 * sinio;
+  c.delmo = std::pow(1.0 + c.eta * std::cos(c.mo), 3.0);
+  c.sinmao = std::sin(c.mo);
+  c.x7thm1 = 7.0 * cosio2 - 1.0;
 
-  if (!isimp_) {
-    const double cc1sq = cc1_ * cc1_;
-    d2_ = 4.0 * ao_ * tsi * cc1sq;
-    const double temp = d2_ * tsi * cc1_ / 3.0;
-    d3_ = (17.0 * ao_ + sfour) * temp;
-    d4_ = 0.5 * temp * ao_ * tsi * (221.0 * ao_ + 31.0 * sfour) * cc1_;
-    t3cof_ = d2_ + 2.0 * cc1sq;
-    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
-    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
-                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+  if (!c.isimp) {
+    const double cc1sq = c.cc1 * c.cc1;
+    c.d2 = 4.0 * c.ao * tsi * cc1sq;
+    const double temp = c.d2 * tsi * c.cc1 / 3.0;
+    c.d3 = (17.0 * c.ao + sfour) * temp;
+    c.d4 = 0.5 * temp * c.ao * tsi * (221.0 * c.ao + 31.0 * sfour) * c.cc1;
+    c.t3cof = c.d2 + 2.0 * cc1sq;
+    c.t4cof = 0.25 * (3.0 * c.d3 + c.cc1 * (12.0 * c.d2 + 10.0 * cc1sq));
+    c.t5cof = 0.2 * (3.0 * c.d4 + 12.0 * c.cc1 * c.d3 + 6.0 * c.d2 * c.d2 +
+                     15.0 * cc1sq * (2.0 * c.d2 + cc1sq));
   }
+  return c;
 }
 
-double Sgp4::semi_major_axis_km() const { return ao_ * kRe; }
+double Sgp4::semi_major_axis_km() const { return c_.ao * kRe; }
 
-StateVector Sgp4::propagate(double t) const {
+PropagateStatus propagate_common(const CommonConstants& c, double t,
+                                 StateVector& out) noexcept {
   // ---- Secular gravity and atmospheric drag. ----
-  const double xmdf = mo_ + mdot_ * t;
-  const double argpdf = argpo_ + argpdot_ * t;
-  const double nodedf = nodeo_ + nodedot_ * t;
+  const double xmdf = c.mo + c.mdot * t;
+  const double argpdf = c.argpo + c.argpdot * t;
+  const double nodedf = c.nodeo + c.nodedot * t;
   double argpm = argpdf;
   double mm = xmdf;
   const double t2 = t * t;
-  double nodem = nodedf + nodecf_ * t2;
-  double tempa = 1.0 - cc1_ * t;
-  double tempe = bstar_ * cc4_ * t;
-  double templ = t2cof_ * t2;
+  double nodem = nodedf + c.nodecf * t2;
+  double tempa = 1.0 - c.cc1 * t;
+  double tempe = c.bstar * c.cc4 * t;
+  double templ = c.t2cof * t2;
 
-  if (!isimp_) {
-    const double delomg = omgcof_ * t;
-    const double delmtemp = 1.0 + eta_ * std::cos(xmdf);
-    const double delm = xmcof_ * (delmtemp * delmtemp * delmtemp - delmo_);
+  if (!c.isimp) {
+    const double delomg = c.omgcof * t;
+    const double delmtemp = 1.0 + c.eta * std::cos(xmdf);
+    const double delm = c.xmcof * (delmtemp * delmtemp * delmtemp - c.delmo);
     const double temp = delomg + delm;
     mm = xmdf + temp;
     argpm = argpdf - temp;
     const double t3 = t2 * t;
     const double t4 = t3 * t;
-    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
-    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
-    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+    tempa = tempa - c.d2 * t2 - c.d3 * t3 - c.d4 * t4;
+    tempe = tempe + c.bstar * c.cc5 * (std::sin(mm) - c.sinmao);
+    templ = templ + c.t3cof * t3 + t4 * (c.t4cof + t * c.t5cof);
   }
 
-  double nm = no_unkozai_;
-  double em = ecco_;
-  const double inclm = inclo_;
+  double nm = c.no_unkozai;
+  double em = c.ecco;
+  const double inclm = c.inclo;
 
-  const double am = std::pow(kXke / nm, kTwoThirds) * tempa * tempa;
+  // c.ao holds the exact bits of pow(xke / no_unkozai, 2/3), so the batch
+  // hot loop skips the pow the reference implementation re-evaluates here.
+  const double am = c.ao * tempa * tempa;
   nm = kXke / std::pow(am, 1.5);
   em = em - tempe;
 
   if (em >= 1.0 || em < -0.001) {
-    throw Sgp4Error(Sgp4Error::Code::kEccentricityOutOfRange,
-                    "propagated eccentricity outside SGP4 domain");
+    return PropagateStatus::kEccentricityOutOfRange;
   }
   if (em < 1.0e-6) em = 1.0e-6;
 
-  mm = mm + no_unkozai_ * templ;
+  mm = mm + c.no_unkozai * templ;
   double xlm = mm + argpm + nodem;
   nodem = std::fmod(nodem, kTwoPi);
   argpm = std::fmod(argpm, kTwoPi);
@@ -217,8 +222,8 @@ StateVector Sgp4::propagate(double t) const {
 
   const double axnl = ep * std::cos(argpp);
   double temp = 1.0 / (am * (1.0 - ep * ep));
-  const double aynl = ep * std::sin(argpp) + temp * aycof_;
-  const double xl = mp + argpp + nodep + temp * xlcof_ * axnl;
+  const double aynl = ep * std::sin(argpp) + temp * c.aycof;
+  const double xl = mp + argpp + nodep + temp * c.xlcof * axnl;
 
   // ---- Kepler's equation (modified for long-period terms). ----
   const double u = std::fmod(xl - nodep, kTwoPi);
@@ -242,8 +247,7 @@ StateVector Sgp4::propagate(double t) const {
   const double el2 = axnl * axnl + aynl * aynl;
   const double pl = am * (1.0 - el2);
   if (pl < 0.0) {
-    throw Sgp4Error(Sgp4Error::Code::kNegativeSemiLatusRectum,
-                    "semi-latus rectum went negative");
+    return PropagateStatus::kNegativeSemiLatusRectum;
   }
 
   const double rl = am * (1.0 - ecose);
@@ -261,13 +265,13 @@ StateVector Sgp4::propagate(double t) const {
   const double temp2 = temp1 * temp;
 
   const double mrt =
-      rl * (1.0 - 1.5 * temp2 * betal * con41_) + 0.5 * temp1 * x1mth2_ * cos2u;
-  su = su - 0.25 * temp2 * x7thm1_ * sin2u;
+      rl * (1.0 - 1.5 * temp2 * betal * c.con41) + 0.5 * temp1 * c.x1mth2 * cos2u;
+  su = su - 0.25 * temp2 * c.x7thm1 * sin2u;
   const double xnode = nodep + 1.5 * temp2 * cosip * sin2u;
   const double xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
-  const double mvt = rdotl - nm * temp1 * x1mth2_ * sin2u / kXke;
+  const double mvt = rdotl - nm * temp1 * c.x1mth2 * sin2u / kXke;
   const double rvdot =
-      rvdotl + nm * temp1 * (x1mth2_ * cos2u + 1.5 * con41_) / kXke;
+      rvdotl + nm * temp1 * (c.x1mth2 * cos2u + 1.5 * c.con41) / kXke;
 
   // ---- Orientation vectors and final state. ----
   const double sinsu = std::sin(su);
@@ -286,16 +290,32 @@ StateVector Sgp4::propagate(double t) const {
   const double vz = sini * cossu;
 
   if (mrt < 1.0) {
-    throw Sgp4Error(Sgp4Error::Code::kDecayed, "satellite has decayed");
+    return PropagateStatus::kDecayed;
   }
 
   const double vkmpersec = kRe * kXke / 60.0;
-  StateVector out;
   out.position_km = {mrt * ux * kRe, mrt * uy * kRe, mrt * uz * kRe};
   out.velocity_km_s = {(mvt * ux + rvdot * vx) * vkmpersec,
                        (mvt * uy + rvdot * vy) * vkmpersec,
                        (mvt * uz + rvdot * vz) * vkmpersec};
-  return out;
+  return PropagateStatus::kOk;
+}
+
+StateVector propagate_or_throw(const CommonConstants& c, double tsince_minutes) {
+  StateVector out;
+  switch (propagate_common(c, tsince_minutes, out)) {
+    case PropagateStatus::kOk:
+      return out;
+    case PropagateStatus::kEccentricityOutOfRange:
+      throw Sgp4Error(Sgp4Error::Code::kEccentricityOutOfRange,
+                      "propagated eccentricity outside SGP4 domain");
+    case PropagateStatus::kNegativeSemiLatusRectum:
+      throw Sgp4Error(Sgp4Error::Code::kNegativeSemiLatusRectum,
+                      "semi-latus rectum went negative");
+    case PropagateStatus::kDecayed:
+      throw Sgp4Error(Sgp4Error::Code::kDecayed, "satellite has decayed");
+  }
+  throw Sgp4Error(Sgp4Error::Code::kDecayed, "unreachable propagate status");
 }
 
 }  // namespace starlab::sgp4

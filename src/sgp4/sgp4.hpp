@@ -10,6 +10,17 @@
 // with a period around 95 minutes, far below the 225-minute deep-space
 // threshold; constructing an Sgp4 from a deep-space element set throws.
 //
+// The propagator is split into two halves so a whole catalog can run in a
+// tight batch loop (constellation::Catalog stores one CommonConstants per
+// satellite in structure-of-arrays form):
+//   * init_common_constants — the Kozai -> Brouwer recovery plus every
+//     secular/periodic coefficient, computed once per element set;
+//   * propagate_common — the per-step evaluation, a pure function of
+//     (constants, tsince) with a non-throwing status so batch loops pay no
+//     exception machinery per satellite.
+// Sgp4 remains the single-satellite facade over exactly these two halves,
+// so the batch path is bit-identical to Sgp4::propagate by construction.
+//
 // Frames/units: input TLE mean elements (WGS-72), output position [km] and
 // velocity [km/s] in the TEME frame at the requested time since epoch.
 
@@ -50,49 +61,92 @@ struct StateVector {
   geo::Vec3 velocity_km_s;
 };
 
+/// Everything propagate_common needs that does not depend on tsince: the
+/// original mean elements plus every precomputed secular/periodic
+/// coefficient (names follow the reference implementation). One instance
+/// per element set, computed once by init_common_constants.
+struct CommonConstants {
+  time::JulianDate epoch;
+
+  // Original mean elements (radians, rad/min).
+  double ecco = 0.0, inclo = 0.0, nodeo = 0.0, argpo = 0.0, mo = 0.0;
+  double bstar = 0.0;
+  double no_unkozai = 0.0;
+
+  // Precomputed coefficients.
+  bool isimp = false;
+  double aycof = 0.0, con41 = 0.0, cc1 = 0.0, cc4 = 0.0, cc5 = 0.0;
+  double d2 = 0.0, d3 = 0.0, d4 = 0.0, delmo = 0.0, eta = 0.0;
+  double argpdot = 0.0, omgcof = 0.0, sinmao = 0.0, t2cof = 0.0;
+  double t3cof = 0.0, t4cof = 0.0, t5cof = 0.0, x1mth2 = 0.0;
+  double x7thm1 = 0.0, mdot = 0.0, nodedot = 0.0, xlcof = 0.0;
+  double xmcof = 0.0, nodecf = 0.0;
+  /// Brouwer semi-major axis at epoch [earth radii] — also the exact value
+  /// of pow(xke / no_unkozai, 2/3), reused by propagate_common so the hot
+  /// loop skips one pow per call.
+  double ao = 0.0;
+};
+
+/// Outcome of the non-throwing propagation core. Batch loops branch on the
+/// status; the single-satellite facade converts non-kOk to Sgp4Error.
+enum class PropagateStatus {
+  kOk,
+  kEccentricityOutOfRange,
+  kNegativeSemiLatusRectum,
+  kDecayed,
+};
+
+/// Initialize the full constant set from a parsed TLE. Performs the
+/// Kozai -> Brouwer mean-motion recovery. Throws Sgp4Error on invalid or
+/// deep-space elements.
+[[nodiscard]] CommonConstants init_common_constants(const tle::Tle& tle);
+
+/// Propagate to `tsince_minutes` after the element-set epoch (negative
+/// values propagate backwards). Pure function of its arguments; never
+/// throws — out-of-domain states are reported through the status and leave
+/// `out` unspecified.
+[[nodiscard]] PropagateStatus propagate_common(const CommonConstants& c,
+                                               double tsince_minutes,
+                                               StateVector& out) noexcept;
+
+/// Throwing wrapper over propagate_common with the historical Sgp4 error
+/// messages.
+[[nodiscard]] StateVector propagate_or_throw(const CommonConstants& c,
+                                             double tsince_minutes);
+
 class Sgp4 {
  public:
   /// Initialize the propagator from a parsed TLE. Performs the Kozai ->
   /// Brouwer mean-motion recovery and precomputes all secular/periodic
   /// coefficients. Throws Sgp4Error on invalid or deep-space elements.
-  explicit Sgp4(const tle::Tle& tle);
+  explicit Sgp4(const tle::Tle& tle) : c_(init_common_constants(tle)) {}
 
   /// Propagate to `tsince_minutes` after the element-set epoch (negative
   /// values propagate backwards). Throws Sgp4Error if the orbit leaves the
   /// propagator's domain.
-  [[nodiscard]] StateVector propagate(double tsince_minutes) const;
+  [[nodiscard]] StateVector propagate(double tsince_minutes) const {
+    return propagate_or_throw(c_, tsince_minutes);
+  }
 
   /// Propagate to an absolute UTC instant.
   [[nodiscard]] StateVector propagate_to(const time::JulianDate& jd) const {
-    return propagate(jd.minutes_since(epoch_));
+    return propagate(jd.minutes_since(c_.epoch));
   }
 
   /// Element-set epoch.
-  [[nodiscard]] const time::JulianDate& epoch() const { return epoch_; }
+  [[nodiscard]] const time::JulianDate& epoch() const { return c_.epoch; }
 
   /// Brouwer mean motion recovered at init [rad/min].
-  [[nodiscard]] double mean_motion_rad_min() const { return no_unkozai_; }
+  [[nodiscard]] double mean_motion_rad_min() const { return c_.no_unkozai; }
 
   /// Semi-major axis at epoch [km].
   [[nodiscard]] double semi_major_axis_km() const;
 
+  /// The precomputed constant set (e.g. for structure-of-arrays storage).
+  [[nodiscard]] const CommonConstants& constants() const { return c_; }
+
  private:
-  time::JulianDate epoch_;
-
-  // Original mean elements (radians, rad/min).
-  double ecco_ = 0.0, inclo_ = 0.0, nodeo_ = 0.0, argpo_ = 0.0, mo_ = 0.0;
-  double bstar_ = 0.0;
-  double no_unkozai_ = 0.0;
-
-  // Precomputed coefficients (names follow the reference implementation).
-  bool isimp_ = false;
-  double aycof_ = 0.0, con41_ = 0.0, cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0;
-  double d2_ = 0.0, d3_ = 0.0, d4_ = 0.0, delmo_ = 0.0, eta_ = 0.0;
-  double argpdot_ = 0.0, omgcof_ = 0.0, sinmao_ = 0.0, t2cof_ = 0.0;
-  double t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0, x1mth2_ = 0.0;
-  double x7thm1_ = 0.0, mdot_ = 0.0, nodedot_ = 0.0, xlcof_ = 0.0;
-  double xmcof_ = 0.0, nodecf_ = 0.0;
-  double ao_ = 0.0;
+  CommonConstants c_;
 };
 
 }  // namespace starlab::sgp4

@@ -1,5 +1,6 @@
 #include "sun/eclipse.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geo/wgs.hpp"
@@ -17,7 +18,33 @@ bool is_sunlit_cylindrical(const geo::TemeKm& sat, const time::JulianDate& jd) {
 
 Illumination classify_illumination(const geo::TemeKm& sat,
                                    const time::JulianDate& jd) {
-  const geo::TemeKm sun = sun_position_teme(jd);
+  return classify_illumination(sat, sun_position_teme(jd));
+}
+
+Illumination classify_illumination(const geo::TemeKm& sat,
+                                   const geo::TemeKm& sun) {
+  // Day-side fast path. With the Sun ~1.5e8 km away and the satellite in
+  // LEO, the satellite->Sun direction deviates from the geocentric Sun
+  // direction by < 0.003 deg, so sat.dot(sun) >= 0 puts the Sun/Earth
+  // separation angle within 0.003 deg of >= 90 deg — far outside the
+  // penumbra cone, whose half-angle ang_earth + ang_sun is at most ~68 deg
+  // for any orbit above 300 km. The ~22 deg of slack makes this branch
+  // decision-identical to the full classification below.
+  if (sat.dot(sun) >= 0.0) return Illumination::kSunlit;
+
+  // Night-side fast path: the penumbra's cross-section a distance d down
+  // the anti-sun axis is a disc of radius < Re + d * tan(ang_sun), under
+  // Re + 35 km for any LEO distance. A satellite whose distance from the
+  // shadow axis clears Re + 150 km is therefore sunlit with >= 115 km to
+  // spare — far beyond anything FP rounding in either formulation can
+  // bridge. Costs a handful of multiplies and no trig.
+  {
+    const double along = sat.dot(sun);  // < 0 here
+    const double perp_sq = sat.norm_sq() - along * along / sun.norm_sq();
+    const double clear = geo::kWgs84.radius_km + 150.0;
+    if (perp_sq > clear * clear) return Illumination::kSunlit;
+  }
+
   const geo::TemeKm sat_to_sun = sun - sat;
   const geo::TemeKm sat_to_earth = -sat;
 
@@ -29,8 +56,12 @@ Illumination classify_illumination(const geo::TemeKm& sat,
   const double ang_earth =
       std::asin(std::min(1.0, geo::kWgs84.radius_km / dist_earth));
 
-  // Angular separation between the Sun's and the Earth's centres.
-  const double sep = sat_to_sun.angle_to(sat_to_earth).value();
+  // Angular separation between the Sun's and the Earth's centres. Same
+  // arithmetic as Vec3::angle_to, reusing the two norms computed above.
+  const double denom = dist_sun * dist_earth;
+  double cos_sep = denom <= 0.0 ? 1.0 : sat_to_sun.dot(sat_to_earth) / denom;
+  cos_sep = std::clamp(cos_sep, -1.0, 1.0);
+  const double sep = std::acos(cos_sep);
 
   if (sep >= ang_sun + ang_earth) return Illumination::kSunlit;
   if (sep <= ang_earth - ang_sun) return Illumination::kUmbra;

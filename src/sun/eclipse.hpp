@@ -30,10 +30,24 @@ enum class Illumination {
 [[nodiscard]] Illumination classify_illumination(const geo::TemeKm& sat_teme_km,
                                                  const time::JulianDate& jd);
 
+/// Conical classification against a precomputed Sun position (the value of
+/// sun_position_teme(jd)), so a batch loop over a whole catalog evaluates
+/// the solar ephemeris once per instant. Bit-identical to the JulianDate
+/// overload, which delegates here.
+[[nodiscard]] Illumination classify_illumination(
+    const geo::TemeKm& sat_teme_km, const geo::TemeKm& sun_position_teme_km);
+
 /// Convenience: sunlit under the conical model (penumbra counts as sunlit).
 [[nodiscard]] inline bool is_sunlit(const geo::TemeKm& sat_teme_km,
                                     const time::JulianDate& jd) {
   return classify_illumination(sat_teme_km, jd) != Illumination::kUmbra;
+}
+
+/// is_sunlit against a precomputed Sun position.
+[[nodiscard]] inline bool is_sunlit(const geo::TemeKm& sat_teme_km,
+                                    const geo::TemeKm& sun_position_teme_km) {
+  return classify_illumination(sat_teme_km, sun_position_teme_km) !=
+         Illumination::kUmbra;
 }
 
 }  // namespace starlab::sun

@@ -41,7 +41,7 @@ TEST(Catalog, VisibleFromReturnsPlausibleCount) {
 }
 
 TEST(Catalog, VisibleEntriesRespectElevationFloor) {
-  for (const SkyEntry& e : cat().visible_from(kIowa, epoch_jd(), 25.0)) {
+  for (const SkyEntry& e : cat().visible_from(kIowa, epoch_jd(), geo::Deg(25.0))) {
     EXPECT_GE(e.look.elevation_deg, 25.0);
     EXPECT_LE(e.look.elevation_deg, 90.0);
     EXPECT_GE(e.look.azimuth_deg, 0.0);
@@ -50,8 +50,8 @@ TEST(Catalog, VisibleEntriesRespectElevationFloor) {
 }
 
 TEST(Catalog, LowerFloorSeesMore) {
-  const auto at25 = cat().visible_from(kIowa, epoch_jd(), 25.0);
-  const auto at40 = cat().visible_from(kIowa, epoch_jd(), 40.0);
+  const auto at25 = cat().visible_from(kIowa, epoch_jd(), geo::Deg(25.0));
+  const auto at40 = cat().visible_from(kIowa, epoch_jd(), geo::Deg(40.0));
   EXPECT_GE(at25.size(), at40.size());
 }
 
