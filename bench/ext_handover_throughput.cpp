@@ -174,9 +174,9 @@ void rain_section() {
   std::printf("  rain mm/h   fade@25deg  fade@45deg  fade@85deg   C/N left "
               "@25deg/1200km\n");
   for (const double rate : {0.0, 5.0, 12.5, 25.0, 50.0}) {
-    const double f25 = rf::rain_attenuation_db(rate, 25.0);
-    const double f45 = rf::rain_attenuation_db(rate, 45.0);
-    const double f85 = rf::rain_attenuation_db(rate, 85.0);
+    const double f25 = rf::rain_attenuation_db(rate, geo::Deg(25.0));
+    const double f45 = rf::rain_attenuation_db(rate, geo::Deg(45.0));
+    const double f85 = rf::rain_attenuation_db(rate, geo::Deg(85.0));
     const double margin = rf::cn_db(rf::ku_user_downlink(), geo::Km(1200.0)) - f25;
     std::printf("  %8.1f   %8.1f dB %8.1f dB %8.1f dB   %8.1f dB\n", rate,
                 f25, f45, f85, margin);

@@ -10,17 +10,21 @@
 #
 # Usage: scripts/lint.sh [build-dir]        (default: build)
 #        scripts/lint.sh --write-baseline   (regenerate the starlint baseline)
+#        scripts/lint.sh --only=<rule,...>  (restrict starlint to these rules)
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="build"
 WRITE_BASELINE=0
-case "${1:-}" in
-  --write-baseline) WRITE_BASELINE=1 ;;
-  "") ;;
-  *) BUILD_DIR="$1" ;;
-esac
+ONLY=""
+for arg in "$@"; do
+  case "${arg}" in
+    --write-baseline) WRITE_BASELINE=1 ;;
+    --only=*) ONLY="${arg}" ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
 
 STATUS=0
 
@@ -43,7 +47,7 @@ fi
 
 echo "lint: starlint (tools/starlint)"
 "${STARLINT}" --root . --compdb "${BUILD_DIR}/compile_commands.json" \
-  --sarif "${BUILD_DIR}/starlint.sarif" || STATUS=1
+  --sarif "${BUILD_DIR}/starlint.sarif" ${ONLY:+"${ONLY}"} || STATUS=1
 
 # ---------------------------------------------------------------------------
 # 2. clang-tidy over the compilation database (skipped if not installed).

@@ -34,9 +34,12 @@ HandoverStats handover_stats(const std::vector<AllocationStep>& sequence) {
         dwell_lengths.push_back(current_dwell);
         current_dwell = 0;
 
-        const double jump = geo::sky_separation_deg(
-            prev->azimuth_deg, prev->elevation_deg, step.azimuth_deg,
-            step.elevation_deg);
+        const double jump =
+            geo::sky_separation(geo::Deg(prev->azimuth_deg),
+                                geo::Deg(prev->elevation_deg),
+                                geo::Deg(step.azimuth_deg),
+                                geo::Deg(step.elevation_deg))
+                .value();
         jump_sum += jump;
         out.max_jump_deg = std::max(out.max_jump_deg, jump);
       }

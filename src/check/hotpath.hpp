@@ -1,0 +1,25 @@
+#pragma once
+
+// STARLAB_HOTPATH — a zero-cost annotation for functions on the 15-second
+// scheduling loop's hot paths (SGP4 propagation, DTW scoring, ephemeris
+// cache lookups, obstruction-map scans, parallel_for bodies).
+//
+// The macro expands to nothing: it exists for starlint's whole-program
+// call-graph pass (tools/starlint/callgraph.cpp), which requires every
+// annotated function to be transitively free of allocation, mutex
+// acquisition, throw, and stream/file I/O — modulo the explicit allowlist
+// in tools/starlint/hotpath.toml and per-line starlint:allow(...)
+// suppressions with a justification comment.
+//
+// Usage:
+//   STARLAB_HOTPATH PropagateStatus propagate_common(...) noexcept { ... }
+//
+// Lambdas cannot carry a macro in their head; mark them with a trailing
+// comment on the line opening the body (or the line above):
+//   pool.parallel_for(n, [&](std::size_t i) {  // starlint:hotpath
+//
+// Like src/check/thread_annotations.hpp this header is layer-neutral (an
+// interface header in tools/starlint/layers.toml): any subsystem may
+// include it without creating a dependency edge on check.
+
+#define STARLAB_HOTPATH

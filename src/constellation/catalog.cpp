@@ -114,6 +114,7 @@ std::vector<Catalog::Snapshot> Catalog::propagate_all_batch(
   // partition keeps the result bit-identical at any thread count.
   exec::default_pool().parallel_for_chunks(
       records_.size(), kPropagateChunkGrain,
+      // starlint:hotpath
       [&](std::size_t begin, std::size_t end) {
         sgp4::StateVector st;
         for (std::size_t i = begin; i < end; ++i) {

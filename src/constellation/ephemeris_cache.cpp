@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "check/hotpath.hpp"
 #include "geo/frames.hpp"
 #include "obs/metrics.hpp"
 
@@ -150,8 +151,12 @@ EphemerisCache::Entry EphemerisCache::lookup_or_compute(
   return entry;
 }
 
-geo::TemeKm EphemerisCache::position_teme(std::size_t catalog_index,
-                                          const time::JulianDate& jd) const {
+// Memoization is the point of this hot path: a miss inserts under the
+// striped shard lock (amortized away on the hit path), and a decayed
+// satellite reproduces the uncached call's exception by contract.
+// starlint:allow(hotpath-lock) starlint:allow(hotpath-alloc) starlint:allow(hotpath-throw)
+STARLAB_HOTPATH geo::TemeKm EphemerisCache::position_teme(
+    std::size_t catalog_index, const time::JulianDate& jd) const {
   std::int64_t tick = 0;
   if (!quantize(jd.to_unix_seconds(), tick)) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);

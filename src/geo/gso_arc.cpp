@@ -25,13 +25,12 @@ GsoArc::GsoArc(const Geodetic& site, Deg step, Deg min_elevation) {
 
 Deg GsoArc::separation(Deg azimuth, Deg elevation) const {
   if (samples_.empty()) return Deg(1e9);
-  double best = 1e9;
+  Deg best(1e9);
   for (const LookAngles& s : samples_) {
-    best = std::min(best,
-                    sky_separation_deg(azimuth.value(), elevation.value(),
-                                       s.azimuth_deg, s.elevation_deg));
+    best = std::min(best, sky_separation(azimuth, elevation, s.azimuth(),
+                                         s.elevation()));
   }
-  return Deg(best);
+  return best;
 }
 
 }  // namespace starlab::geo

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "check/contracts.hpp"
+#include "check/hotpath.hpp"
 #include "geo/angles.hpp"
 
 namespace starlab::geo {
@@ -37,7 +38,8 @@ Vec3 sez_to_ecef(const Geodetic& obs, const Vec3& s) {
 
 }  // namespace
 
-LookAngles look_angles(const Geodetic& observer, const EcefKm& target_ecef_km) {
+STARLAB_HOTPATH LookAngles look_angles(const Geodetic& observer,
+                                       const EcefKm& target_ecef_km) {
   const EcefKm obs_ecef = geodetic_to_ecef(observer);
   const Vec3 sez = ecef_to_sez(observer, (target_ecef_km - obs_ecef).raw());
 
@@ -67,16 +69,15 @@ EcefKm direction_from_look(const Geodetic& observer, Deg azimuth,
   return EcefKm(sez_to_ecef(observer, sez));
 }
 
-double sky_separation_deg(double az1_deg, double el1_deg, double az2_deg,
-                          double el2_deg) {
-  const double az1 = deg_to_rad(az1_deg), el1 = deg_to_rad(el1_deg);
-  const double az2 = deg_to_rad(az2_deg), el2 = deg_to_rad(el2_deg);
+Deg sky_separation(Deg az1_in, Deg el1_in, Deg az2_in, Deg el2_in) {
+  const double az1 = to_rad(az1_in).value(), el1 = to_rad(el1_in).value();
+  const double az2 = to_rad(az2_in).value(), el2 = to_rad(el2_in).value();
   // Spherical law of cosines on the observer's sky sphere.
   double c = std::sin(el1) * std::sin(el2) +
              std::cos(el1) * std::cos(el2) * std::cos(az1 - az2);
   if (c > 1.0) c = 1.0;
   if (c < -1.0) c = -1.0;
-  return rad_to_deg(std::acos(c));
+  return to_deg(Rad(std::acos(c)));
 }
 
 }  // namespace starlab::geo

@@ -35,9 +35,8 @@ struct LookAngles {
 [[nodiscard]] EcefKm direction_from_look(const Geodetic& observer, Deg azimuth,
                                          Deg elevation);
 
-/// Angular separation [deg] between two sky directions (az/el pairs), treated
-/// as points on the observer's celestial sphere.
-[[nodiscard]] double sky_separation_deg(double az1_deg, double el1_deg,
-                                        double az2_deg, double el2_deg);
+/// Angular separation between two sky directions (az/el pairs), treated as
+/// points on the observer's celestial sphere.
+[[nodiscard]] Deg sky_separation(Deg az1, Deg el1, Deg az2, Deg el2);
 
 }  // namespace starlab::geo

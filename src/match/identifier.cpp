@@ -68,7 +68,7 @@ std::vector<Point2> SatelliteIdentifier::candidate_path(
         ephemeris_cache_ != nullptr
             ? ephemeris_cache_->look_from(catalog_index, terminal.site(), jd)
             : catalog_.look_at(catalog_index, terminal.site(), jd);
-    if (look.elevation_deg < geometry_.min_elevation_deg) continue;
+    if (look.elevation() < geometry_.min_elevation) continue;
     path.push_back(sky_to_plane(
         obsmap::SkyPoint::from(look.azimuth(), look.elevation()), geometry_));
   }
@@ -146,6 +146,10 @@ Identification SatelliteIdentifier::identify_isolated(
     MatchScore score;
   };
   std::vector<ScoredCandidate> scored(candidates.size());
+  // The per-candidate path buffer is this loop's output, and the ephemeris
+  // cache behind candidate_path locks/inserts/throws by design (see
+  // EphemerisCache::position_teme); DTW itself stays allocation-free.
+  // starlint:hotpath starlint:allow(hotpath-alloc) starlint:allow(hotpath-lock) starlint:allow(hotpath-throw)
   exec::default_pool().parallel_for(candidates.size(), [&](std::size_t k) {
     const constellation::SkyEntry& c = candidates[k];
     const std::vector<Point2> path =

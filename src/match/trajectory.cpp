@@ -8,8 +8,8 @@ namespace starlab::match {
 Point2 sky_to_plane(const obsmap::SkyPoint& sky,
                     const obsmap::MapGeometry& g) {
   // Same polar mapping the map itself uses, kept in continuous coordinates.
-  const double r = (g.max_elevation_deg - sky.elevation_deg) /
-                   (g.max_elevation_deg - g.min_elevation_deg) * g.radius_px;
+  const double r = (g.max_elevation - sky.elevation()) /
+                   (g.max_elevation - g.min_elevation) * g.radius_px;
   const double az = sky.azimuth_deg * M_PI / 180.0;
   return {g.center_x + r * std::sin(az), g.center_y - r * std::cos(az)};
 }

@@ -9,17 +9,17 @@
 namespace starlab::obsmap {
 
 std::optional<Pixel> MapGeometry::pixel_of(const SkyPoint& p) const {
-  STARLAB_EXPECT(radius_px > 0.0 && max_elevation_deg > min_elevation_deg,
-                 "degenerate map geometry: radius " + std::to_string(radius_px) +
-                     ", elevation span [" + std::to_string(min_elevation_deg) +
-                     ", " + std::to_string(max_elevation_deg) + "]");
-  if (p.elevation_deg < min_elevation_deg ||
-      p.elevation_deg > max_elevation_deg) {
+  STARLAB_EXPECT(
+      radius_px > 0.0 && max_elevation > min_elevation,
+      "degenerate map geometry: radius " + std::to_string(radius_px) +
+          ", elevation span [" + std::to_string(min_elevation.value()) + ", " +
+          std::to_string(max_elevation.value()) + "]");
+  if (p.elevation() < min_elevation || p.elevation() > max_elevation) {
     return std::nullopt;
   }
   // Radius: 0 at zenith, radius_px at the rim elevation.
-  const double r = (max_elevation_deg - p.elevation_deg) /
-                   (max_elevation_deg - min_elevation_deg) * radius_px;
+  const double r = (max_elevation - p.elevation()) /
+                   (max_elevation - min_elevation) * radius_px;
   const double az = geo::deg_to_rad(p.azimuth_deg);
   // North (az 0) points up the image (-y); azimuth grows clockwise (+x east).
   const double x = center_x + r * std::sin(az);
@@ -34,9 +34,9 @@ std::optional<SkyPoint> MapGeometry::sky_of(const Pixel& px) const {
   if (r > radius_px + 0.5) return std::nullopt;
 
   SkyPoint p;
-  p.elevation_deg = max_elevation_deg -
-                    std::min(r, radius_px) / radius_px *
-                        (max_elevation_deg - min_elevation_deg);
+  p.elevation_deg = (max_elevation - std::min(r, radius_px) / radius_px *
+                                         (max_elevation - min_elevation))
+                        .value();
   // atan2(east, north) == clockwise angle from north.
   p.azimuth_deg = geo::wrap_360(geo::rad_to_deg(std::atan2(dx, -dy)));
   return p;

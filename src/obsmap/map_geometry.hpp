@@ -43,8 +43,8 @@ struct MapGeometry {
   double center_x = 61.0;
   double center_y = 61.0;
   double radius_px = 45.0;
-  double min_elevation_deg = 25.0;  ///< elevation at the rim
-  double max_elevation_deg = 90.0;  ///< elevation at the centre
+  geo::Deg min_elevation{25.0};  ///< elevation at the rim
+  geo::Deg max_elevation{90.0};  ///< elevation at the centre
 
   /// Pixel for a sky direction; nullopt when the elevation is below the rim.
   [[nodiscard]] std::optional<Pixel> pixel_of(const SkyPoint& p) const;

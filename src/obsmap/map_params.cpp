@@ -27,8 +27,8 @@ std::optional<RecoveredParams> recover_geometry(const ObstructionMap& filled,
   // shave quantization error.
   g.radius_px = 0.25 * ((out.bbox_max_x - out.bbox_min_x) +
                         (out.bbox_max_y - out.bbox_min_y));
-  g.min_elevation_deg = min_elevation.value();
-  g.max_elevation_deg = max_elevation.value();
+  g.min_elevation = min_elevation;
+  g.max_elevation = max_elevation;
   out.geometry = g;
   return out;
 }

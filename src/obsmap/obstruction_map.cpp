@@ -5,16 +5,17 @@
 #include <cstring>
 
 #include "check/contracts.hpp"
+#include "check/hotpath.hpp"
 
 namespace starlab::obsmap {
 
-std::uint64_t ObstructionMap::word(std::size_t i) const {
+STARLAB_HOTPATH std::uint64_t ObstructionMap::word(std::size_t i) const {
   std::uint64_t w = 0;
   std::memcpy(&w, bits_.data() + i * 8, 8);
   return w;
 }
 
-std::size_t ObstructionMap::popcount() const {
+STARLAB_HOTPATH std::size_t ObstructionMap::popcount() const {
   // Pixels are 0x00/0x01 bytes, so each set pixel contributes exactly one
   // bit to its word; pad bytes are always zero.
   std::size_t n = 0;

@@ -7,22 +7,21 @@
 
 namespace starlab::rf {
 
-double specific_attenuation_db_per_km(double rain_rate_mm_h,
-                                      const RainModel& model) {
+double specific_attenuation(double rain_rate_mm_h, const RainModel& model) {
   if (rain_rate_mm_h <= 0.0) return 0.0;
   return model.k * std::pow(rain_rate_mm_h, model.alpha);
 }
 
-double effective_path_km(double elevation_deg, const RainModel& model) {
-  const double el = std::max(elevation_deg, 5.0);
-  return model.rain_height_km / std::sin(geo::deg_to_rad(el)) *
+geo::Km effective_path(geo::Deg elevation, const RainModel& model) {
+  const geo::Deg el = std::max(elevation, geo::Deg(5.0));
+  return model.rain_height / std::sin(geo::to_rad(el).value()) *
          model.path_reduction;
 }
 
-double rain_attenuation_db(double rain_rate_mm_h, double elevation_deg,
+double rain_attenuation_db(double rain_rate_mm_h, geo::Deg elevation,
                            const RainModel& model) {
-  return specific_attenuation_db_per_km(rain_rate_mm_h, model) *
-         effective_path_km(elevation_deg, model);
+  return specific_attenuation(rain_rate_mm_h, model) *
+         effective_path(elevation, model).value();
 }
 
 }  // namespace starlab::rf

@@ -8,6 +8,8 @@
 // here is the standard power-law specific attenuation gamma = k * R^alpha
 // integrated over an elevation-dependent effective path length.
 
+#include "geo/units.hpp"
+
 namespace starlab::rf {
 
 struct RainModel {
@@ -15,25 +17,25 @@ struct RainModel {
   /// horizontal polarization, ITU-R P.838-3).
   double k = 0.02386;
   double alpha = 1.1825;
-  /// Mean rain-layer height above the ground station [km].
-  double rain_height_km = 3.0;
+  /// Mean rain-layer height above the ground station.
+  geo::Km rain_height{3.0};
   /// Horizontal-path reduction factor (accounts for rain-cell size).
   double path_reduction = 0.9;
 };
 
 /// Specific attenuation [dB/km] at rain rate R [mm/h].
-[[nodiscard]] double specific_attenuation_db_per_km(double rain_rate_mm_h,
-                                                    const RainModel& model = {});
+[[nodiscard]] double specific_attenuation(double rain_rate_mm_h,
+                                          const RainModel& model = {});
 
-/// Effective slant-path length [km] through the rain layer at the given
+/// Effective slant-path length through the rain layer at the given
 /// elevation. Clamped below 5 deg elevation to avoid the flat-earth
 /// singularity (the hardware never operates below 25 deg anyway).
-[[nodiscard]] double effective_path_km(double elevation_deg,
-                                       const RainModel& model = {});
+[[nodiscard]] geo::Km effective_path(geo::Deg elevation,
+                                     const RainModel& model = {});
 
 /// Total rain attenuation [dB] on a slant path.
 [[nodiscard]] double rain_attenuation_db(double rain_rate_mm_h,
-                                         double elevation_deg,
+                                         geo::Deg elevation,
                                          const RainModel& model = {});
 
 }  // namespace starlab::rf

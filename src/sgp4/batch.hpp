@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/hotpath.hpp"
 #include "sgp4/sgp4.hpp"
 
 namespace starlab::sgp4 {
@@ -40,8 +41,8 @@ class SoaConstants {
 
   /// Propagate satellite i to `tsince_minutes` past its own epoch.
   /// Bit-identical to Sgp4(tle).propagate(tsince_minutes).
-  [[nodiscard]] PropagateStatus propagate(std::size_t i, double tsince_minutes,
-                                          StateVector& out) const noexcept {
+  [[nodiscard]] STARLAB_HOTPATH PropagateStatus propagate(
+      std::size_t i, double tsince_minutes, StateVector& out) const noexcept {
     const CommonConstants c = load(i);
     return propagate_common(c, tsince_minutes, out);
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/hotpath.hpp"
 #include "geo/angles.hpp"
 #include "geo/wgs.hpp"
 
@@ -161,8 +162,9 @@ CommonConstants init_common_constants(const tle::Tle& tle) {
 
 double Sgp4::semi_major_axis_km() const { return c_.ao * kRe; }
 
-PropagateStatus propagate_common(const CommonConstants& c, double t,
-                                 StateVector& out) noexcept {
+STARLAB_HOTPATH PropagateStatus propagate_common(const CommonConstants& c,
+                                                 double t,
+                                                 StateVector& out) noexcept {
   // ---- Secular gravity and atmospheric drag. ----
   const double xmdf = c.mo + c.mdot * t;
   const double argpdf = c.argpo + c.argpdot * t;

@@ -1,0 +1,18 @@
+// Fixture: a hot-path root reaching allocation two call hops away. The
+// graph pass must report hotpath-alloc (and only that) at `hot_entry`.
+#include <vector>
+
+namespace fix {
+
+void leaf_allocates(std::vector<double>& out) { out.push_back(1.0); }
+
+double middle(std::vector<double>& out) {
+  leaf_allocates(out);
+  return out.back();
+}
+
+STARLAB_HOTPATH double hot_entry(std::vector<double>& out) {
+  return middle(out);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Fixture: the clean negative for the call-graph pass. A hot-path root
+// whose whole transitive closure is arithmetic, neutral std vocabulary and
+// a contract macro — no finding of any hotpath-* rule, and the contract
+// macro's std::to_string argument must be skipped, not flagged.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace fix {
+
+double leaf(double x) { return std::sqrt(x) + std::fmod(x, 2.0); }
+
+STARLAB_HOTPATH double hot_entry(double x) {
+  const double y = std::max(leaf(x), 0.0);
+  STARLAB_ENSURE(y >= 0.0, "negative: " + std::to_string(y));
+  return y;
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Fixture: lambdas cannot carry STARLAB_HOTPATH in their head, so the
+// `// starlint:hotpath` marker comment promotes them to hot-path roots.
+// The marked lambda throws; the unmarked one allocates but is not a root.
+#include <stdexcept>
+#include <vector>
+
+namespace fix {
+
+void run(void (*submit)(void (*)())) {
+  // starlint:hotpath
+  auto marked = [](double x) {
+    if (x < 0.0) throw std::runtime_error("negative");
+    return x;
+  };
+  auto unmarked = [] {
+    std::vector<int> scratch;
+    scratch.push_back(1);
+  };
+  (void)marked;
+  (void)unmarked;
+  (void)submit;
+}
+
+}  // namespace fix

@@ -1,0 +1,10 @@
+// Fixture: a hot-path root calling a function with no definition in the
+// analyzed file set. `mystery()` must report hotpath-unknown; `vetted()` is
+// allowlisted by the test's HotpathConfig and must not.
+namespace fix {
+
+STARLAB_HOTPATH double hot_entry(double x) {
+  return mystery(x) + vetted(x);
+}
+
+}  // namespace fix

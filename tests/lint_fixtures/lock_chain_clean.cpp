@@ -1,0 +1,22 @@
+// Fixture: lock acquisitions that nest across a call edge but always in
+// the same order (Outer::mu -> Inner::mu, including transitively through
+// `helper`). The acquisition graph is acyclic: no lock-order finding.
+namespace fix {
+
+struct Inner {
+  check::Mutex mu;
+};
+struct Outer {
+  check::Mutex mu;
+};
+
+void take_inner(Inner& i) { check::MutexLock l(i.mu); }
+
+void helper(Inner& i) { take_inner(i); }
+
+void outer_then_inner(Outer& o, Inner& i) {
+  check::MutexLock l(o.mu);
+  helper(i);
+}
+
+}  // namespace fix

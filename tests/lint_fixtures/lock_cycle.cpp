@@ -1,0 +1,29 @@
+// Fixture: an ABBA deadlock. `forward` holds A while taking B, `backward`
+// holds B while taking A — the acquisition graph has the 2-cycle
+// Pair::a <-> Pair::b and the lock-order rule must fire. `nested_ok` takes
+// them in the forward order again and must not add a finding.
+namespace fix {
+
+struct Pair {
+  check::Mutex a;
+  check::Mutex b;
+};
+
+void forward(Pair& p) {
+  check::MutexLock la(p.a);
+  check::MutexLock lb(p.b);
+}
+
+void backward(Pair& p) {
+  check::MutexLock lb(p.b);
+  check::MutexLock la(p.a);
+}
+
+void nested_ok(Pair& p) {
+  check::MutexLock la(p.a);
+  {
+    check::MutexLock lb(p.b);
+  }
+}
+
+}  // namespace fix

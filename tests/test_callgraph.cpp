@@ -1,0 +1,356 @@
+// Tests for starlint's call-graph layer: the function/mutex indexer
+// (extents, qualified names, lambdas, markers), the hot-path purity rules
+// over the fixtures in tests/lint_fixtures/, suppression and allowlist
+// edge cases, and the lock-order cycle detector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "config.hpp"
+#include "functions.hpp"
+#include "source_file.hpp"
+
+namespace starlint {
+namespace {
+
+#ifndef STARLAB_LINT_FIXTURES
+#error "STARLAB_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+
+const std::string kFixtures = STARLAB_LINT_FIXTURES;
+
+HotpathConfig test_hotpath_config() {
+  return parse_hotpath_config(R"(
+[hotpath]
+allow = ["vetted", "runtime_error"]
+macros = []
+)");
+}
+
+std::vector<Finding> graph_fixture(const std::string& name,
+                                   const std::string& as_path,
+                                   const HotpathConfig& config) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::load(kFixtures + "/" + name, as_path));
+  return run_graph_rules(files, config);
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+// --- function indexer -------------------------------------------------------
+
+TEST(FunctionIndexTest, QualifiedNamesAndExtents) {
+  const SourceFile f("src/geo/x.cpp",
+                     "namespace outer::inner {\n"
+                     "class Widget {\n"
+                     " public:\n"
+                     "  int get() const { return v_; }\n"
+                     " private:\n"
+                     "  int v_ = 0;\n"
+                     "};\n"
+                     "double area(double r) {\n"
+                     "  return 3.14 * r * r;\n"
+                     "}\n"
+                     "}  // namespace outer::inner\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 2u);
+  EXPECT_EQ(index.functions[0].qualified, "outer::inner::Widget::get");
+  EXPECT_EQ(index.functions[0].line, 4u);
+  EXPECT_EQ(index.functions[1].qualified, "outer::inner::area");
+  // Extents: [body_begin, body_end) covers exactly `{ ... }`.
+  const std::string& text = f.scrubbed();
+  EXPECT_EQ(text[index.functions[1].body_begin], '{');
+  EXPECT_EQ(text[index.functions[1].body_end - 1], '}');
+  EXPECT_LT(index.functions[0].body_end, index.functions[1].body_begin);
+}
+
+TEST(FunctionIndexTest, OutOfClassDefinitionKeepsClassQualifier) {
+  const SourceFile f("src/geo/x.cpp",
+                     "namespace ns {\n"
+                     "double Widget::area(double r) const {\n"
+                     "  return r * r;\n"
+                     "}\n"
+                     "}\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 1u);
+  EXPECT_EQ(index.functions[0].qualified, "ns::Widget::area");
+  EXPECT_EQ(index.functions[0].name, "area");
+}
+
+TEST(FunctionIndexTest, ControlFlowBracesAreNotFunctions) {
+  const SourceFile f("src/geo/x.cpp",
+                     "void f(int n) {\n"
+                     "  if (n > 0) {\n"
+                     "    for (int i = 0; i < n; ++i) {\n"
+                     "      n += i;\n"
+                     "    }\n"
+                     "  }\n"
+                     "  switch (n) {\n"
+                     "    default: break;\n"
+                     "  }\n"
+                     "}\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 1u);
+  EXPECT_EQ(index.functions[0].name, "f");
+}
+
+TEST(FunctionIndexTest, LambdaGetsSyntheticNameAndMarkerMakesItHot) {
+  const SourceFile f("src/geo/x.cpp",
+                     "void run() {\n"
+                     "  // starlint:hotpath\n"
+                     "  auto marked = [](int x) {\n"
+                     "    return x + 1;\n"
+                     "  };\n"
+                     "  auto plain = [](int x) { return x; };\n"
+                     "  (void)marked; (void)plain;\n"
+                     "}\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 3u);
+  EXPECT_EQ(index.functions[1].qualified, "run::<lambda@3>");
+  EXPECT_TRUE(index.functions[1].is_lambda);
+  EXPECT_TRUE(index.functions[1].hotpath);
+  EXPECT_FALSE(index.functions[2].hotpath);
+}
+
+TEST(FunctionIndexTest, HotpathMacroInHeadMarksDefinition) {
+  const SourceFile f("src/geo/x.cpp",
+                     "STARLAB_HOTPATH double fast(double x) {\n"
+                     "  return x;\n"
+                     "}\n"
+                     "double slow(double x) { return x; }\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 2u);
+  EXPECT_TRUE(index.functions[0].hotpath);
+  EXPECT_FALSE(index.functions[1].hotpath);
+}
+
+TEST(FunctionIndexTest, MutexDeclarationRecordsOwningScope) {
+  const SourceFile f("src/exec/x.hpp",
+                     "namespace ns {\n"
+                     "class Pool {\n"
+                     "  check::Mutex mu_;\n"
+                     "};\n"
+                     "check::Mutex g_mu;\n"
+                     "}\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.mutexes.size(), 2u);
+  EXPECT_EQ(index.mutexes[0].owner, "ns::Pool");
+  EXPECT_EQ(index.mutexes[0].name, "mu_");
+  EXPECT_EQ(index.mutexes[1].owner, "ns");
+  EXPECT_EQ(index.mutexes[1].name, "g_mu");
+}
+
+TEST(FunctionIndexTest, PreprocessorBracesDoNotDerailScopes) {
+  const SourceFile f("src/geo/x.cpp",
+                     "#define WEIRD { (\n"
+                     "double ok() {\n"
+                     "  return 1.0;\n"
+                     "}\n");
+  const FileIndex index = index_file(f, 0);
+  ASSERT_EQ(index.functions.size(), 1u);
+  EXPECT_EQ(index.functions[0].name, "ok");
+}
+
+// --- hot-path purity over fixtures ------------------------------------------
+
+TEST(HotpathRuleTest, AllocationTwoHopsAway) {
+  const std::vector<Finding> findings = graph_fixture(
+      "hotpath_alloc_two_hops.cpp", "src/match/f.cpp", test_hotpath_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-alloc");
+  // Reported at the root's definition, with the chain in the message.
+  EXPECT_EQ(findings[0].line, 14u);
+  EXPECT_NE(findings[0].message.find("fix::middle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(HotpathRuleTest, UnknownCalleeUnlessVetted) {
+  const std::vector<Finding> findings = graph_fixture(
+      "hotpath_unknown.cpp", "src/match/f.cpp", test_hotpath_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-unknown");
+  EXPECT_NE(findings[0].message.find("mystery"), std::string::npos);
+  EXPECT_EQ(findings[0].message.find("vetted"), std::string::npos);
+}
+
+TEST(HotpathRuleTest, MarkedLambdaIsRootUnmarkedIsNot) {
+  const std::vector<Finding> findings = graph_fixture(
+      "hotpath_lambda.cpp", "src/match/f.cpp", test_hotpath_config());
+  // Only the marked lambda's throw fires; the unmarked lambda's push_back
+  // never becomes a finding (runtime_error's constructor is vetted).
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-throw");
+  EXPECT_NE(findings[0].message.find("<lambda@"), std::string::npos);
+}
+
+TEST(HotpathRuleTest, CleanFixtureStaysClean) {
+  const std::vector<Finding> findings = graph_fixture(
+      "hotpath_clean.cpp", "src/match/f.cpp", test_hotpath_config());
+  EXPECT_TRUE(findings.empty()) << findings[0].rule << ": "
+                                << findings[0].message;
+}
+
+TEST(HotpathRuleTest, DefLineAllowSuppresses) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile(
+      "src/match/f.cpp",
+      "// starlint:allow(hotpath-alloc)\n"
+      "STARLAB_HOTPATH void hot(std::vector<int>& v) {\n"
+      "  v.push_back(1);\n"
+      "}\n"));
+  EXPECT_TRUE(run_graph_rules(files, test_hotpath_config()).empty());
+}
+
+TEST(HotpathRuleTest, SinkSiteAllowSuppressesForEveryRoot) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile(
+      "src/match/f.cpp",
+      "void grow(std::vector<int>& v) {\n"
+      "  v.resize(8);  // starlint:allow(hotpath-alloc)\n"
+      "}\n"
+      "STARLAB_HOTPATH void hot(std::vector<int>& v) {\n"
+      "  grow(v);\n"
+      "}\n"));
+  EXPECT_TRUE(run_graph_rules(files, test_hotpath_config()).empty());
+}
+
+TEST(HotpathRuleTest, ContractMacroArgumentsAreSkipped) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile(
+      "src/match/f.cpp",
+      "STARLAB_HOTPATH double hot(double x) {\n"
+      "  STARLAB_ENSURE(x >= 0.0, \"bad: \" + std::to_string(x));\n"
+      "  return x;\n"
+      "}\n"));
+  EXPECT_TRUE(run_graph_rules(files, test_hotpath_config()).empty());
+}
+
+TEST(HotpathRuleTest, CrossFileResolution) {
+  // The allocation lives in another translation unit: the graph still
+  // connects hot() -> helper() across files.
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile("src/match/a.cpp",
+                             "namespace m {\n"
+                             "void helper(std::vector<int>& v) {\n"
+                             "  v.push_back(1);\n"
+                             "}\n"
+                             "}\n"));
+  files.push_back(SourceFile("src/match/b.cpp",
+                             "namespace m {\n"
+                             "STARLAB_HOTPATH void hot(std::vector<int>& v) {\n"
+                             "  helper(v);\n"
+                             "}\n"
+                             "}\n"));
+  const std::vector<Finding> findings =
+      run_graph_rules(files, test_hotpath_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-alloc");
+  EXPECT_EQ(findings[0].file, "src/match/b.cpp");
+}
+
+TEST(HotpathRuleTest, StreamObjectIsIo) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile("src/match/f.cpp",
+                             "STARLAB_HOTPATH void hot() {\n"
+                             "  std::cerr << \"x\";\n"
+                             "}\n"));
+  const std::vector<Finding> findings =
+      run_graph_rules(files, test_hotpath_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hotpath-io");
+}
+
+// --- lock order -------------------------------------------------------------
+
+TEST(LockOrderTest, AbbaCycleIsReported) {
+  const std::vector<Finding> findings = graph_fixture(
+      "lock_cycle.cpp", "src/exec/f.cpp", test_hotpath_config());
+  const std::vector<std::string> rules = rules_of(findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "lock-order"), rules.end());
+  bool mentions_cycle = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "lock-order" &&
+        f.message.find("Pair::a") != std::string::npos &&
+        f.message.find("Pair::b") != std::string::npos) {
+      mentions_cycle = true;
+    }
+  }
+  EXPECT_TRUE(mentions_cycle);
+}
+
+TEST(LockOrderTest, ConsistentOrderAcrossCallsIsClean) {
+  const std::vector<Finding> findings = graph_fixture(
+      "lock_chain_clean.cpp", "src/exec/f.cpp", test_hotpath_config());
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, "lock-order") << f.message;
+  }
+}
+
+TEST(LockOrderTest, ScopeExitReleasesHeldSet) {
+  // The guard's block ends before the second acquisition: no edge, no
+  // cycle, even though the two orders would conflict if held together.
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile("src/exec/f.cpp",
+                             "struct S { check::Mutex a; check::Mutex b; };\n"
+                             "void one(S& s) {\n"
+                             "  { check::MutexLock la(s.a); }\n"
+                             "  check::MutexLock lb(s.b);\n"
+                             "}\n"
+                             "void two(S& s) {\n"
+                             "  { check::MutexLock lb(s.b); }\n"
+                             "  check::MutexLock la(s.a);\n"
+                             "}\n"));
+  const std::vector<Finding> findings =
+      run_graph_rules(files, test_hotpath_config());
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, "lock-order") << f.message;
+  }
+}
+
+TEST(LockOrderTest, SameNameMutexesOfUnrelatedClassesStayDistinct) {
+  // Both classes name their member `mu`; the owner-qualified identity keeps
+  // A::mu -> B::mu from aliasing into a self-edge or a bogus cycle.
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile("src/exec/f.cpp",
+                             "struct A { check::Mutex mu; };\n"
+                             "struct B { check::Mutex mu; };\n"
+                             "void f(A& a, B& b) {\n"
+                             "  check::MutexLock la(a.mu);\n"
+                             "  check::MutexLock lb(b.mu);\n"
+                             "}\n"));
+  const std::vector<Finding> findings =
+      run_graph_rules(files, test_hotpath_config());
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, "lock-order") << f.message;
+  }
+}
+
+// --- CallGraph object surface -----------------------------------------------
+
+TEST(CallGraphTest, FunctionsAccessorExposesIndex) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile("src/geo/x.cpp",
+                             "namespace g {\n"
+                             "double one() { return 1.0; }\n"
+                             "double two() { return one() + 1.0; }\n"
+                             "}\n"));
+  const CallGraph graph(files, test_hotpath_config());
+  ASSERT_EQ(graph.functions().size(), 2u);
+  EXPECT_EQ(graph.functions()[0].qualified, "g::one");
+  const std::string dump = graph.dump();
+  EXPECT_NE(dump.find("g::two"), std::string::npos);
+  EXPECT_NE(dump.find("call one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starlint

@@ -109,7 +109,7 @@ TEST(MapGeometry, AllPixelsOfPlotInvert) {
 
 TEST(MapGeometry, RecoveredStyleGeometryAlsoInverts) {
   // A slightly off-centre recovered geometry must still round-trip.
-  const MapGeometry g{60.5, 62.0, 44.5, 25.0, 90.0};
+  const MapGeometry g{60.5, 62.0, 44.5, geo::Deg(25.0), geo::Deg(90.0)};
   const auto px = g.pixel_of({200.0, 40.0});
   ASSERT_TRUE(px.has_value());
   const auto sky = g.sky_of(*px);

@@ -28,12 +28,12 @@ TEST(MapParams, RecoversPublishedGeometry) {
   EXPECT_NEAR(recovered->geometry.center_x, truth.center_x, 1.0);
   EXPECT_NEAR(recovered->geometry.center_y, truth.center_y, 1.0);
   EXPECT_NEAR(recovered->geometry.radius_px, truth.radius_px, 1.0);
-  EXPECT_DOUBLE_EQ(recovered->geometry.min_elevation_deg, 25.0);
-  EXPECT_DOUBLE_EQ(recovered->geometry.max_elevation_deg, 90.0);
+  EXPECT_DOUBLE_EQ(recovered->geometry.min_elevation.value(), 25.0);
+  EXPECT_DOUBLE_EQ(recovered->geometry.max_elevation.value(), 90.0);
 }
 
 TEST(MapParams, RecoversShiftedGeometry) {
-  const MapGeometry truth{55.0, 66.0, 40.0, 25.0, 90.0};
+  const MapGeometry truth{55.0, 66.0, 40.0, geo::Deg(25.0), geo::Deg(90.0)};
   const auto recovered = recover_geometry(synthetic_filled(truth));
   ASSERT_TRUE(recovered.has_value());
   EXPECT_NEAR(recovered->geometry.center_x, 55.0, 1.0);

@@ -75,22 +75,26 @@ TEST(Topocentric, BelowHorizonIsNegativeElevation) {
   EXPECT_NEAR(la.elevation_deg, -90.0, 0.2);
 }
 
+double sep(double az1, double el1, double az2, double el2) {
+  return sky_separation(Deg(az1), Deg(el1), Deg(az2), Deg(el2)).value();
+}
+
 TEST(Topocentric, SkySeparationBasics) {
-  EXPECT_NEAR(sky_separation_deg(0.0, 45.0, 0.0, 45.0), 0.0, 1e-9);
-  EXPECT_NEAR(sky_separation_deg(0.0, 90.0, 0.0, 25.0), 65.0, 1e-9);
+  EXPECT_NEAR(sep(0.0, 45.0, 0.0, 45.0), 0.0, 1e-9);
+  EXPECT_NEAR(sep(0.0, 90.0, 0.0, 25.0), 65.0, 1e-9);
   // Two points on the horizon 90 deg of azimuth apart.
-  EXPECT_NEAR(sky_separation_deg(0.0, 0.0, 90.0, 0.0), 90.0, 1e-9);
+  EXPECT_NEAR(sep(0.0, 0.0, 90.0, 0.0), 90.0, 1e-9);
   // At the zenith azimuth is irrelevant.
-  EXPECT_NEAR(sky_separation_deg(0.0, 90.0, 180.0, 90.0), 0.0, 1e-6);
+  EXPECT_NEAR(sep(0.0, 90.0, 180.0, 90.0), 0.0, 1e-6);
 }
 
 TEST(Topocentric, SkySeparationTriangleInequality) {
   const double a[2] = {30.0, 40.0};
   const double b[2] = {80.0, 55.0};
   const double c[2] = {200.0, 70.0};
-  const double ab = sky_separation_deg(a[0], a[1], b[0], b[1]);
-  const double bc = sky_separation_deg(b[0], b[1], c[0], c[1]);
-  const double ac = sky_separation_deg(a[0], a[1], c[0], c[1]);
+  const double ab = sep(a[0], a[1], b[0], b[1]);
+  const double bc = sep(b[0], b[1], c[0], c[1]);
+  const double ac = sep(a[0], a[1], c[0], c[1]);
   EXPECT_LE(ac, ab + bc + 1e-9);
 }
 

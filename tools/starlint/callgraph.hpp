@@ -1,0 +1,122 @@
+#pragma once
+
+// Whole-program call graph over every indexed source file, and the two rule
+// families that run on top of it:
+//
+//   hot-path purity — every function marked STARLAB_HOTPATH (or a lambda
+//   marked `// starlint:hotpath`) must not transitively reach
+//     * allocation            (rule hotpath-alloc: new/malloc, growing
+//                              container ops, string building),
+//     * mutex acquisition     (rule hotpath-lock: check::MutexLock,
+//                              lock_guard/unique_lock/scoped_lock, .lock()),
+//     * throw                 (rule hotpath-throw),
+//     * stream / file I/O     (rule hotpath-io: printf family, fopen,
+//                              iostream objects);
+//   calls that resolve to no indexed function and no known-pure builtin are
+//   reported as rule hotpath-unknown unless vetted in hotpath.toml.
+//
+//   lock-order — the lock-acquisition graph built from check::MutexLock
+//   scopes: an edge A -> B means some thread acquires B (directly or via a
+//   call) while holding A. A cycle is a potential ABBA deadlock (rule
+//   lock-order, empty baseline by policy). Mutex identity is
+//   `<owning scope>::<name>`, so the many classes whose member is `mu_`
+//   stay distinct; sites that cannot be attributed to a single declaration
+//   fall back to a merged per-name identity, and self-edges are ignored
+//   (same-name mutexes of unrelated classes).
+//
+// Call resolution is deliberately conservative and name-based (no types):
+// member-call vocabulary of the standard library is classified directly
+// (growing ops are allocation sinks, accessors are pure), qualified names
+// resolve on `::` suffix boundaries, an unqualified name resolves to every
+// indexed function with that name (overload union), and anything left is an
+// unknown callee.
+//
+// Findings are emitted at the hot function's definition line, so the
+// standard `starlint:allow(rule)` comment there suppresses them; an allow
+// on a sink's own line (e.g. a one-time thread_local grow) suppresses just
+// that sink for every path reaching it.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "functions.hpp"
+#include "rules.hpp"
+#include "source_file.hpp"
+
+namespace starlint {
+
+class CallGraph {
+ public:
+  /// Index `files` and extract call sites. The files vector must outlive
+  /// the graph.
+  CallGraph(const std::vector<SourceFile>& files, const HotpathConfig& config);
+
+  /// Hot-path purity findings (rules hotpath-alloc/lock/throw/io/unknown).
+  [[nodiscard]] std::vector<Finding> hotpath_findings() const;
+
+  /// Lock-order findings (rule lock-order): one per distinct cycle.
+  [[nodiscard]] std::vector<Finding> lock_order_findings() const;
+
+  /// Every indexed function definition, in (file, body_begin) order.
+  [[nodiscard]] const std::vector<FunctionDef>& functions() const {
+    return defs_;
+  }
+
+  /// Human-readable dump of the indexed graph (functions, edges, mutexes)
+  /// for --dump-callgraph.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  struct Site {
+    enum class Kind { kCall, kAlloc, kLock, kThrow, kIo };
+    Kind kind = Kind::kCall;
+    std::string name;      // callee chain ("sun::is_sunlit") or sink name
+    std::string receiver;  // member calls: the receiver's identifier chain
+    std::string mutex_arg; // kLock: the guarded expression's trailing chain
+    std::size_t pos = 0;   // offset in the file's scrubbed text
+    std::size_t line = 0;
+    std::size_t block_end = 0;  // kLock: end of the enclosing block
+    bool member = false;
+  };
+
+  void extract_sites(std::size_t def_index);
+  [[nodiscard]] bool is_vetted(const std::string& qualified) const;
+  /// Indices of defs a call chain resolves to (empty: unknown or vetted —
+  /// `vetted` distinguishes why). Ambiguous unions shrink via unqualified
+  /// lookup from `caller`'s scope, or — for member calls — via a
+  /// `Type receiver` declaration adjacency anywhere in the program.
+  [[nodiscard]] std::vector<std::size_t> resolve(const Site& site,
+                                                 std::size_t caller,
+                                                 bool& vetted) const;
+  /// True when some file declares `receiver` with type `type_name`.
+  [[nodiscard]] bool receiver_declared_as(const std::string& type_name,
+                                          const std::string& receiver) const;
+  [[nodiscard]] std::size_t enclosing_def(std::size_t file_index,
+                                          std::size_t pos) const;
+  /// Identity string for the mutex a lock site names.
+  [[nodiscard]] std::string mutex_identity(std::size_t def_index,
+                                           const Site& site) const;
+
+  const std::vector<SourceFile>& files_;
+  HotpathConfig config_;
+  /// Scrubbed text per file with preprocessor lines blanked; extents in
+  /// defs_ index into these.
+  std::vector<std::string> texts_;
+  std::vector<FunctionDef> defs_;
+  std::vector<std::vector<Site>> sites_;  // parallel to defs_
+  std::vector<MutexDecl> mutexes_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  /// def -> lambda defs invoked immediately at their closing brace (IIFE):
+  /// `[]{ ... }()` — treated as a call edge from the enclosing function.
+  std::map<std::size_t, std::vector<std::size_t>> iife_edges_;
+};
+
+/// Convenience: build the graph and run both rule families.
+[[nodiscard]] std::vector<Finding> run_graph_rules(
+    const std::vector<SourceFile>& files, const HotpathConfig& config);
+
+}  // namespace starlint

@@ -10,7 +10,8 @@ namespace starlint {
 namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& why) {
-  throw std::runtime_error("layers.toml:" + std::to_string(line) + ": " + why);
+  throw std::runtime_error("starlint config:" + std::to_string(line) + ": " +
+                           why);
 }
 
 std::string trim(const std::string& s) {
@@ -174,6 +175,114 @@ LayersConfig load_layers_config(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return parse_layers_config(buf.str());
+}
+
+namespace {
+
+/// Macros whose argument lists the call scan always skips: contracts
+/// compile out bit-identically, and the thread-safety attribute macros are
+/// type annotations, not calls.
+const std::set<std::string>& builtin_skip_macros() {
+  static const std::set<std::string> macros = {
+      "STARLAB_EXPECT",  "STARLAB_ENSURE", "STARLAB_INVARIANT",
+      "GUARDED_BY",      "PT_GUARDED_BY",  "REQUIRES",
+      "REQUIRES_SHARED", "EXCLUDES",       "ACQUIRED_AFTER",
+      "ACQUIRED_BEFORE", "RETURN_CAPABILITY", "CAPABILITY",
+      "SCOPED_CAPABILITY", "ACQUIRE",      "RELEASE",
+      "TRY_ACQUIRE",     "ASSERT_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+      "static_assert",
+  };
+  return macros;
+}
+
+}  // namespace
+
+HotpathConfig parse_hotpath_config(const std::string& text) {
+  HotpathConfig config;
+  config.macros = builtin_skip_macros();
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  std::size_t lineno = 0;
+
+  std::string pending_key;
+  std::string pending_body;
+  bool in_array = false;
+
+  const auto commit_array = [&](std::size_t at) {
+    const std::vector<std::string> values = parse_strings(pending_body, at);
+    if (section == "hotpath" && pending_key == "allow") {
+      config.allow.insert(values.begin(), values.end());
+    } else if (section == "hotpath" && pending_key == "macros") {
+      config.macros.insert(values.begin(), values.end());
+    } else {
+      fail(at,
+           "unknown key '" + pending_key + "' in section [" + section + "]");
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = strip_comment(line);
+    if (t.empty()) continue;
+
+    if (in_array) {
+      const std::size_t close = t.find(']');
+      if (close == std::string::npos) {
+        pending_body += " " + t;
+      } else {
+        pending_body += " " + t.substr(0, close);
+        if (trim(t.substr(close + 1)) != "") {
+          fail(lineno, "trailing content after ']'");
+        }
+        commit_array(lineno);
+        in_array = false;
+      }
+      continue;
+    }
+
+    if (t.front() == '[') {
+      if (t.back() != ']') fail(lineno, "malformed section header");
+      section = t.substr(1, t.size() - 2);
+      if (section != "hotpath") {
+        fail(lineno, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key = value");
+    pending_key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (value.empty() || value.front() != '[') {
+      fail(lineno, "expected an array value for '" + pending_key + "'");
+    }
+    const std::size_t close = value.find(']');
+    if (close == std::string::npos) {
+      pending_body = value.substr(1);
+      in_array = true;
+    } else {
+      if (trim(value.substr(close + 1)) != "") {
+        fail(lineno, "trailing content after ']'");
+      }
+      pending_body = value.substr(1, close - 1);
+      commit_array(lineno);
+    }
+  }
+  if (in_array) fail(lineno, "unterminated array for '" + pending_key + "'");
+  return config;
+}
+
+HotpathConfig load_hotpath_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    HotpathConfig config;
+    config.macros = builtin_skip_macros();
+    return config;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_hotpath_config(buf.str());
 }
 
 }  // namespace starlint

@@ -39,4 +39,29 @@ struct LayersConfig {
 /// Load + parse a layers.toml file from disk.
 [[nodiscard]] LayersConfig load_layers_config(const std::string& path);
 
+/// Configuration for the call-graph hot-path purity pass, read from
+/// tools/starlint/hotpath.toml. Same TOML subset as layers.toml.
+struct HotpathConfig {
+  /// Vetted callee names: calls resolving to (or naming, when unresolved) a
+  /// function whose qualified name ends with one of these are treated as
+  /// pure leaves and not traversed. Entries are matched on `::` boundaries
+  /// ("Sgp4::propagate" vets that overload without vetting every
+  /// `propagate`).
+  std::set<std::string> allow;
+  /// Function-like macros whose whole argument list is skipped by the call
+  /// scan (contract macros compile out bit-identically, so their
+  /// std::to_string message arguments are not hot-path allocations). The
+  /// contract and thread-annotation macros are always included.
+  std::set<std::string> macros;
+};
+
+/// Parse hotpath.toml text ([hotpath] section, `allow`/`macros` array
+/// keys). Throws std::runtime_error with a line number on malformed input.
+/// The built-in macro set is merged in.
+[[nodiscard]] HotpathConfig parse_hotpath_config(const std::string& text);
+
+/// Load + parse hotpath.toml; a missing file yields the defaults (empty
+/// allowlist, built-in macros).
+[[nodiscard]] HotpathConfig load_hotpath_config(const std::string& path);
+
 }  // namespace starlint

@@ -1,0 +1,401 @@
+#include "functions.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace starlint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Blank every preprocessor line (and its `\`-continuations) in place,
+/// keeping newlines so line numbers survive.
+void blank_preprocessor_lines(std::string& text) {
+  std::size_t i = 0;
+  bool continued = false;
+  while (i < text.size()) {
+    std::size_t eol = text.find('\n', i);
+    if (eol == std::string::npos) eol = text.size();
+    std::size_t first = i;
+    while (first < eol && (text[first] == ' ' || text[first] == '\t')) ++first;
+    const bool directive = continued || (first < eol && text[first] == '#');
+    continued = directive && eol > i && text[eol - 1] == '\\';
+    if (directive) {
+      for (std::size_t k = i; k < eol; ++k) text[k] = ' ';
+    }
+    i = eol + 1;
+  }
+}
+
+/// Position of the last non-space char at or before `i` (npos if none).
+std::size_t skip_ws_back(const std::string& text, std::size_t i) {
+  while (i != std::string::npos && i < text.size() && is_space(text[i])) {
+    if (i == 0) return std::string::npos;
+    --i;
+  }
+  return i;
+}
+
+/// The identifier ending at position `end` (inclusive); empty if `end` is
+/// not an identifier char. `begin_out` receives its first char's position.
+std::string ident_ending_at(const std::string& text, std::size_t end,
+                            std::size_t& begin_out) {
+  if (end == std::string::npos || !is_ident_char(text[end])) return "";
+  std::size_t b = end;
+  while (b > 0 && is_ident_char(text[b - 1])) --b;
+  begin_out = b;
+  if (std::isdigit(static_cast<unsigned char>(text[b])) != 0) return "";
+  return text.substr(b, end - b + 1);
+}
+
+/// Match a closing bracket backwards: `at` holds the closer; returns the
+/// position of the matching opener, or npos on failure.
+std::size_t match_back(const std::string& text, std::size_t at, char open,
+                       char close) {
+  int depth = 0;
+  for (std::size_t i = at;; --i) {
+    if (text[i] == close) ++depth;
+    if (text[i] == open && --depth == 0) return i;
+    if (i == 0) break;
+  }
+  return std::string::npos;
+}
+
+/// True when the `{` at `brace` closes a lambda introducer: `[...](...)` or
+/// `[...]`, optionally with mutable/noexcept/const and a trailing return
+/// type in between.
+bool is_lambda_brace(const std::string& text, std::size_t brace) {
+  std::size_t i = skip_ws_back(text, brace == 0 ? std::string::npos
+                                                : brace - 1);
+  // Skip trailing specifiers and a `-> Type` clause: identifier tokens and
+  // the punctuation a return type can contain.
+  while (i != std::string::npos) {
+    const char c = text[i];
+    if (is_ident_char(c)) {
+      std::size_t b = 0;
+      ident_ending_at(text, i, b);
+      i = b == 0 ? std::string::npos : skip_ws_back(text, b - 1);
+    } else if (c == '>' || c == '<' || c == ':' || c == '*' || c == '&') {
+      i = i == 0 ? std::string::npos : skip_ws_back(text, i - 1);
+    } else if (c == '-' ) {
+      i = i == 0 ? std::string::npos : skip_ws_back(text, i - 1);
+    } else {
+      break;
+    }
+  }
+  if (i == std::string::npos) return false;
+  if (text[i] == ')') {
+    const std::size_t open = match_back(text, i, '(', ')');
+    if (open == std::string::npos || open == 0) return false;
+    i = skip_ws_back(text, open - 1);
+    if (i == std::string::npos || text[i] != ']') return false;
+  }
+  if (text[i] != ']') return false;
+  const std::size_t lb = match_back(text, i, '[', ']');
+  if (lb == std::string::npos) return false;
+  // `[` preceded by an identifier / `)` / `]` is a subscript, not a capture
+  // list; anything else (call argument, `=`, `,`, `(`, `{`, `return`, line
+  // start) introduces a lambda.
+  const std::size_t before =
+      lb == 0 ? std::string::npos : skip_ws_back(text, lb - 1);
+  if (before == std::string::npos) return true;
+  const char p = text[before];
+  if (p == ')' || p == ']') return false;
+  if (is_ident_char(p)) {
+    std::size_t b = 0;
+    const std::string id = ident_ending_at(text, before, b);
+    return id == "return" || id == "co_return";
+  }
+  return true;
+}
+
+/// Skip leading whitespace and `template <...>` prefixes of a head.
+std::size_t skip_template_prefix(const std::string& head) {
+  std::size_t i = 0;
+  for (;;) {
+    while (i < head.size() && is_space(head[i])) ++i;
+    if (head.compare(i, 8, "template") != 0) return i;
+    std::size_t j = i + 8;
+    while (j < head.size() && is_space(head[j])) ++j;
+    if (j >= head.size() || head[j] != '<') return i;
+    int depth = 0;
+    for (; j < head.size(); ++j) {
+      if (head[j] == '<') ++depth;
+      if (head[j] == '>' && --depth == 0) {
+        ++j;
+        break;
+      }
+    }
+    i = j;
+  }
+}
+
+struct HeadToken {
+  std::string text;
+  std::size_t pos = 0;
+};
+
+std::vector<HeadToken> head_tokens(const std::string& head,
+                                   std::size_t begin) {
+  std::vector<HeadToken> out;
+  std::size_t i = begin;
+  while (i < head.size()) {
+    if (is_ident_char(head[i]) &&
+        std::isdigit(static_cast<unsigned char>(head[i])) == 0) {
+      std::size_t e = i;
+      while (e < head.size() && is_ident_char(head[e])) ++e;
+      out.push_back({head.substr(i, e - i), i});
+      i = e;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",    "switch",        "catch",
+      "return", "co_return", "sizeof",  "alignof",       "decltype",
+      "noexcept", "static_assert", "assert", "operator", "alignas",
+  };
+  return kw;
+}
+
+}  // namespace
+
+FileIndex index_file(const SourceFile& file, std::size_t file_index) {
+  FileIndex out;
+  std::string text = file.scrubbed();
+  blank_preprocessor_lines(text);
+  const std::size_t n = text.size();
+
+  enum class Kind { kNamespace, kClass, kFunction, kBlock };
+  struct Scope {
+    Kind kind;
+    std::string name;  // empty for blocks / anonymous scopes
+    std::size_t def_index = SIZE_MAX;
+    int paren_depth = 0;  // depth at push; statement `;` resets heads here
+  };
+  std::vector<Scope> stack;
+
+  const auto qualified_prefix = [&]() {
+    std::string q;
+    for (const Scope& s : stack) {
+      if (s.name.empty()) continue;
+      if (!q.empty()) q += "::";
+      q += s.name;
+    }
+    return q;
+  };
+
+  std::size_t head_start = 0;
+  int paren_depth = 0;
+  std::string prev_ident;
+  std::size_t prev_ident_end = 0;
+
+  const auto base_depth = [&]() {
+    return stack.empty() ? 0 : stack.back().paren_depth;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (is_ident_char(c) &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t e = i;
+      while (e < n && is_ident_char(text[e])) ++e;
+      const std::string tok = text.substr(i, e - i);
+      // `check::Mutex name;` (adjacent tokens, declaration-terminated):
+      // register the mutex with its owning scope.
+      if (prev_ident == "Mutex" && paren_depth == base_depth()) {
+        bool adjacent = true;
+        for (std::size_t k = prev_ident_end; k < i; ++k) {
+          if (!is_space(text[k]) && text[k] != ':') adjacent = false;
+          if (text[k] == ':') adjacent = false;  // Mutex::something
+        }
+        if (adjacent) {
+          std::size_t after = e;
+          while (after < n && is_space(text[after])) ++after;
+          if (after < n && (text[after] == ';' || text[after] == '{' ||
+                            is_ident_char(text[after]))) {
+            out.mutexes.push_back(
+                {tok, qualified_prefix(), file_index, file.line_of(i)});
+          }
+        }
+      }
+      prev_ident = tok;
+      prev_ident_end = e;
+      i = e;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        ++paren_depth;
+        break;
+      case ')':
+        if (paren_depth > 0) --paren_depth;
+        break;
+      case ';':
+        if (paren_depth == base_depth()) head_start = i + 1;
+        break;
+      case '}': {
+        if (!stack.empty()) {
+          const Scope s = stack.back();
+          stack.pop_back();
+          if (s.kind == Kind::kFunction && s.def_index != SIZE_MAX) {
+            out.functions[s.def_index].body_end = i + 1;
+          }
+        }
+        head_start = i + 1;
+        break;
+      }
+      case '{': {
+        Scope scope{Kind::kBlock, "", SIZE_MAX, paren_depth};
+        const std::size_t brace_line = file.line_of(i);
+        if (is_lambda_brace(text, i)) {
+          FunctionDef def;
+          def.name = "<lambda>";
+          const std::string prefix = qualified_prefix();
+          def.qualified = (prefix.empty() ? "" : prefix + "::") +
+                          "<lambda@" + std::to_string(brace_line) + ">";
+          def.file_index = file_index;
+          def.line = brace_line;
+          def.body_begin = i;
+          def.body_end = n;
+          def.is_lambda = true;
+          def.hotpath = file.hotpath_marked(brace_line);
+          scope.kind = Kind::kFunction;
+          scope.name = "<lambda@" + std::to_string(brace_line) + ">";
+          scope.def_index = out.functions.size();
+          out.functions.push_back(def);
+        } else if (paren_depth == base_depth()) {
+          const std::string head = text.substr(head_start, i - head_start);
+          const std::vector<HeadToken> toks =
+              head_tokens(head, skip_template_prefix(head));
+          // namespace?
+          std::size_t ns_at = SIZE_MAX;
+          std::size_t class_at = SIZE_MAX;
+          for (std::size_t t = 0; t < toks.size(); ++t) {
+            if (toks[t].text == "namespace" && ns_at == SIZE_MAX) ns_at = t;
+            if ((toks[t].text == "class" || toks[t].text == "struct" ||
+                 toks[t].text == "union" || toks[t].text == "enum") &&
+                class_at == SIZE_MAX) {
+              class_at = t;
+            }
+          }
+          // A '(' before the class-key means the key sits in a parameter
+          // list (e.g. `void f(struct X*)`), not a type definition head.
+          if (class_at != SIZE_MAX) {
+            const std::size_t paren = head.find('(');
+            if (paren != std::string::npos && paren < toks[class_at].pos) {
+              class_at = SIZE_MAX;
+            }
+          }
+          if (ns_at != SIZE_MAX) {
+            scope.kind = Kind::kNamespace;
+            // `namespace a::b` — join the identifier chain after the
+            // keyword; anonymous namespaces contribute "(anon)".
+            std::string name;
+            for (std::size_t t = ns_at + 1; t < toks.size(); ++t) {
+              if (!name.empty()) name += "::";
+              name += toks[t].text;
+            }
+            scope.name = name.empty() ? "(anon)" : name;
+          } else if (class_at != SIZE_MAX) {
+            scope.kind = Kind::kClass;
+            static const std::set<std::string> skip = {
+                "class", "struct", "final", "alignas", "public",
+                "protected", "private", "virtual"};
+            for (std::size_t t = class_at + 1; t < toks.size(); ++t) {
+              if (skip.count(toks[t].text) != 0) continue;
+              scope.name = toks[t].text;
+              break;
+            }
+            if (scope.name.empty()) scope.name = "(anon)";
+          } else {
+            // Function definition: first head-level `ident(` whose name is
+            // not a control keyword. Constructor init lists keep the
+            // constructor name first, so "first" is the right pick.
+            std::size_t name_pos = std::string::npos;
+            std::string chain;
+            for (std::size_t t = 0; t < toks.size(); ++t) {
+              std::size_t after = toks[t].pos + toks[t].text.size();
+              while (after < head.size() && (head[after] == ' ' ||
+                                             head[after] == '\t' ||
+                                             head[after] == '\n')) {
+                ++after;
+              }
+              if (after >= head.size() || head[after] != '(') continue;
+              if (control_keywords().count(toks[t].text) != 0) continue;
+              // Depth check: count parens before this token.
+              int d = 0;
+              for (std::size_t k = 0; k < toks[t].pos; ++k) {
+                if (head[k] == '(') ++d;
+                if (head[k] == ')') --d;
+              }
+              if (d != 0) continue;
+              // Walk the qualifier chain back: A::B::~name.
+              std::size_t b = toks[t].pos;
+              chain = toks[t].text;
+              std::size_t back = b;
+              while (back >= 2 && head.compare(back - 2, 2, "::") == 0) {
+                std::size_t qb = 0;
+                const std::string q =
+                    back >= 3 ? ident_ending_at(head, back - 3, qb) : "";
+                if (q.empty()) break;
+                chain = q + "::" + chain;
+                back = qb;
+              }
+              // A `~` before the name breaks the `::` chain walk above, so
+              // destructors always reach here with a bare class name.
+              if (b > 0 && head[b - 1] == '~') chain = "~" + chain;
+              name_pos = toks[t].pos;
+              break;
+            }
+            if (name_pos != std::string::npos) {
+              FunctionDef def;
+              const std::size_t last_sep = chain.rfind("::");
+              def.name = last_sep == std::string::npos
+                             ? chain
+                             : chain.substr(last_sep + 2);
+              const std::string prefix = qualified_prefix();
+              def.qualified =
+                  (prefix.empty() ? "" : prefix + "::") + chain;
+              def.file_index = file_index;
+              def.line = file.line_of(head_start + name_pos);
+              def.body_begin = i;
+              def.body_end = n;
+              bool macro = false;
+              for (const HeadToken& t : toks) {
+                if (t.text == "STARLAB_HOTPATH") macro = true;
+              }
+              def.hotpath = macro || file.hotpath_marked(brace_line) ||
+                            file.hotpath_marked(def.line);
+              scope.kind = Kind::kFunction;
+              scope.name = def.name;
+              scope.def_index = out.functions.size();
+              out.functions.push_back(def);
+            }
+          }
+        }
+        stack.push_back(scope);
+        head_start = i + 1;
+        break;
+      }
+      default:
+        break;
+    }
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace starlint

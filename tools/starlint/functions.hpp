@@ -1,0 +1,75 @@
+#pragma once
+
+// Cross-TU function indexing for starlint's call-graph passes.
+//
+// The indexer walks one scrubbed source file with a scope stack (namespace /
+// class / function / block), classifying every `{` by the statement head in
+// front of it, and records:
+//   * every function and lambda definition — unqualified name, fully
+//     scope-qualified name, 1-based head line, and the [body_begin,
+//     body_end) byte extent of its body in scrubbed();
+//   * whether the definition is a hot-path root: the STARLAB_HOTPATH macro
+//     token in its head, or a `// starlint:hotpath` marker comment on the
+//     body-opening line (lambdas cannot carry a macro);
+//   * every `check::Mutex` declaration together with the qualified scope
+//     that owns it — the lock-order pass keys mutex identity on
+//     `<owner>::<name>` so the many classes whose member is just `mu_` stay
+//     distinct.
+//
+// Still no libclang: this is the same hand-rolled tokenizer philosophy as
+// rules.cpp, tuned on this codebase's idioms (out-of-class definitions,
+// constructor init lists, trailing return types, local annotated structs,
+// lambdas nested in call arguments). Preprocessor lines are blanked first
+// so macro definitions with unbalanced braces cannot derail the scope
+// tracking.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "source_file.hpp"
+
+namespace starlint {
+
+/// One function (or lambda) definition.
+struct FunctionDef {
+  /// Unqualified name; lambdas report "<lambda>".
+  std::string name;
+  /// Scope-qualified name, e.g. "starlab::sgp4::SoaConstants::propagate".
+  /// Lambdas get "<enclosing>::<lambda@LINE>".
+  std::string qualified;
+  /// Index into the file vector the graph was built over.
+  std::size_t file_index = 0;
+  /// 1-based line of the definition head (the function name token; the `{`
+  /// line for lambdas).
+  std::size_t line = 0;
+  /// Byte offset of the opening '{' in SourceFile::scrubbed().
+  std::size_t body_begin = 0;
+  /// One past the closing '}' (file end when unbalanced).
+  std::size_t body_end = 0;
+  bool hotpath = false;
+  bool is_lambda = false;
+};
+
+/// One mutex declaration (`check::Mutex name;`).
+struct MutexDecl {
+  std::string name;
+  /// Qualified scope that declares it ("...::EphemerisCache::Shard"); the
+  /// lock identity is owner + "::" + name.
+  std::string owner;
+  std::size_t file_index = 0;
+  std::size_t line = 0;
+};
+
+struct FileIndex {
+  std::vector<FunctionDef> functions;
+  std::vector<MutexDecl> mutexes;
+};
+
+/// Index every function definition and mutex declaration in `file`.
+/// `file_index` is stamped into the records so multi-file graphs can map
+/// back to their sources.
+[[nodiscard]] FileIndex index_file(const SourceFile& file,
+                                   std::size_t file_index);
+
+}  // namespace starlint

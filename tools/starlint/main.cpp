@@ -2,7 +2,8 @@
 //
 //   starlint --root <repo> [--config layers.toml] [--baseline baseline.json]
 //            [--compdb build/compile_commands.json] [--sarif out.sarif]
-//            [--write-baseline] [--verbose] [paths...]
+//            [--hotpath-config hotpath.toml] [--only RULE[,RULE...]]
+//            [--dump-callgraph] [--write-baseline] [--verbose] [paths...]
 //
 // Files come from the compilation database (translation units under
 // <root>/src) plus a header walk of <root>/src — headers never appear in a
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "baseline.hpp"
+#include "callgraph.hpp"
 #include "config.hpp"
 #include "rules.hpp"
 #include "sarif.hpp"
@@ -38,6 +40,9 @@ struct Options {
   std::string baseline_path;  // default: <root>/tools/starlint/baseline.json
   std::string compdb_path;    // default: <root>/build/compile_commands.json
   std::string sarif_path;
+  std::string hotpath_path;   // default: <root>/tools/starlint/hotpath.toml
+  std::set<std::string> only;  // empty = all rules
+  bool dump_callgraph = false;
   bool write_baseline = false;
   bool verbose = false;
   std::vector<std::string> paths;
@@ -101,8 +106,10 @@ std::set<std::string> discover(const Options& opt, const fs::path& root) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--root DIR] [--config FILE] [--baseline FILE]\n"
-               "       [--compdb FILE] [--sarif FILE] [--write-baseline]\n"
-               "       [--verbose] [paths...]\n";
+               "       [--compdb FILE] [--sarif FILE] [--hotpath-config "
+               "FILE]\n"
+               "       [--only RULE[,RULE...]] [--dump-callgraph]\n"
+               "       [--write-baseline] [--verbose] [paths...]\n";
   return 2;
 }
 
@@ -129,6 +136,38 @@ int main(int argc, char** argv) {
       value(opt.compdb_path);
     } else if (arg == "--sarif") {
       value(opt.sarif_path);
+    } else if (arg == "--hotpath-config") {
+      value(opt.hotpath_path);
+    } else if (arg == "--only" || arg.rfind("--only=", 0) == 0) {
+      std::string rules;
+      if (arg.rfind("--only=", 0) == 0) {
+        rules = arg.substr(7);
+      } else {
+        value(rules);
+      }
+      std::size_t at = 0;
+      while (at <= rules.size()) {
+        const std::size_t comma = rules.find(',', at);
+        const std::string rule =
+            rules.substr(at, comma == std::string::npos ? std::string::npos
+                                                        : comma - at);
+        if (!rule.empty()) opt.only.insert(rule);
+        if (comma == std::string::npos) break;
+        at = comma + 1;
+      }
+      if (opt.only.empty()) {
+        std::cerr << "starlint: --only needs at least one rule id\n";
+        return 2;
+      }
+      const auto& known = starlint::all_rule_ids();
+      for (const std::string& rule : opt.only) {
+        if (std::find(known.begin(), known.end(), rule) == known.end()) {
+          std::cerr << "starlint: --only: unknown rule '" << rule << "'\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--dump-callgraph") {
+      opt.dump_callgraph = true;
     } else if (arg == "--write-baseline") {
       opt.write_baseline = true;
     } else if (arg == "--verbose") {
@@ -154,8 +193,13 @@ int main(int argc, char** argv) {
     if (opt.compdb_path.empty()) {
       opt.compdb_path = (root / "build/compile_commands.json").string();
     }
+    if (opt.hotpath_path.empty()) {
+      opt.hotpath_path = (root / "tools/starlint/hotpath.toml").string();
+    }
     const starlint::LayersConfig config =
         starlint::load_layers_config(opt.config_path);
+    const starlint::HotpathConfig hotpath_config =
+        starlint::load_hotpath_config(opt.hotpath_path);
 
     std::set<std::string> files;
     if (opt.paths.empty()) {
@@ -167,17 +211,43 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::vector<starlint::Finding> findings;
+    // The call-graph pass is whole-program: keep every file loaded.
+    std::vector<starlint::SourceFile> sources;
+    sources.reserve(files.size());
     for (const std::string& rel : files) {
-      const starlint::SourceFile file =
-          starlint::SourceFile::load((root / rel).string(), rel);
+      sources.push_back(starlint::SourceFile::load((root / rel).string(), rel));
+    }
+
+    std::vector<starlint::Finding> findings;
+    for (const starlint::SourceFile& file : sources) {
       const std::vector<starlint::Finding> fs_ = run_rules(file, config);
       findings.insert(findings.end(), fs_.begin(), fs_.end());
+    }
+    const starlint::CallGraph graph(sources, hotpath_config);
+    if (opt.dump_callgraph) std::cout << graph.dump();
+    {
+      const std::vector<starlint::Finding> hot = graph.hotpath_findings();
+      findings.insert(findings.end(), hot.begin(), hot.end());
+      const std::vector<starlint::Finding> locks = graph.lock_order_findings();
+      findings.insert(findings.end(), locks.begin(), locks.end());
+    }
+
+    if (!opt.only.empty()) {
+      findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                    [&](const starlint::Finding& f) {
+                                      return opt.only.count(f.rule) == 0;
+                                    }),
+                     findings.end());
     }
 
     if (!opt.sarif_path.empty()) starlint::write_sarif(opt.sarif_path, findings);
 
     if (opt.write_baseline) {
+      if (!opt.only.empty()) {
+        std::cerr << "starlint: --write-baseline with --only would drop every "
+                     "other rule's entries\n";
+        return 2;
+      }
       starlint::write_baseline(opt.baseline_path, starlint::tally(findings));
       std::cout << "starlint: wrote baseline (" << findings.size()
                 << " finding(s) across " << files.size() << " file(s)) to "
@@ -185,8 +255,15 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const starlint::Baseline baseline =
-        starlint::load_baseline(opt.baseline_path);
+    starlint::Baseline baseline = starlint::load_baseline(opt.baseline_path);
+    if (!opt.only.empty()) {
+      // Other rules' baseline entries would all look stale when their
+      // findings were filtered out — restrict the baseline the same way.
+      for (auto it = baseline.begin(); it != baseline.end();) {
+        it = opt.only.count(it->first) == 0 ? baseline.erase(it)
+                                            : std::next(it);
+      }
+    }
     const starlint::BaselineCheck check =
         starlint::check_against_baseline(findings, baseline);
 

@@ -261,7 +261,9 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> ids = {
       "layering",           "det-rand",        "det-random-device",
       "det-wallclock",      "det-getenv",      "det-unordered-iter",
-      "raw-unit-double",    "nodiscard-loader"};
+      "raw-unit-double",    "nodiscard-loader", "hotpath-alloc",
+      "hotpath-lock",       "hotpath-throw",   "hotpath-io",
+      "hotpath-unknown",    "lock-order"};
   return ids;
 }
 
@@ -281,6 +283,21 @@ std::string rule_description(const std::string& rule) {
     return "raw double *_deg/_rad/_km fields must use geo:: unit types";
   if (rule == "nodiscard-loader")
     return "load_*/parse_* declarations must be [[nodiscard]]";
+  if (rule == "hotpath-alloc")
+    return "STARLAB_HOTPATH functions must not transitively allocate";
+  if (rule == "hotpath-lock")
+    return "STARLAB_HOTPATH functions must not transitively acquire a mutex";
+  if (rule == "hotpath-throw")
+    return "STARLAB_HOTPATH functions must not transitively throw";
+  if (rule == "hotpath-io")
+    return "STARLAB_HOTPATH functions must not transitively do stream/file "
+           "I/O";
+  if (rule == "hotpath-unknown")
+    return "STARLAB_HOTPATH call graphs must not reach unvetted unresolved "
+           "callees";
+  if (rule == "lock-order")
+    return "the cross-TU lock acquisition graph must stay acyclic (ABBA "
+           "deadlock)";
   throw std::invalid_argument("unknown starlint rule: " + rule);
 }
 

@@ -56,6 +56,11 @@ bool SourceFile::allowed(const std::string& rule, std::size_t line) const {
          (line > 0 && it->second.count(line - 1) != 0);
 }
 
+bool SourceFile::hotpath_marked(std::size_t line) const {
+  return hotpath_marks_.count(line) != 0 ||
+         (line > 0 && hotpath_marks_.count(line - 1) != 0);
+}
+
 void SourceFile::collect_allow(const std::string& comment, std::size_t line) {
   static const std::string kTag = "starlint:allow(";
   std::size_t at = 0;
@@ -65,6 +70,9 @@ void SourceFile::collect_allow(const std::string& comment, std::size_t line) {
     if (close == std::string::npos) break;
     allows_[comment.substr(open, close - open)].insert(line);
     at = close;
+  }
+  if (comment.find("starlint:hotpath") != std::string::npos) {
+    hotpath_marks_.insert(line);
   }
 }
 

@@ -47,6 +47,12 @@ class SourceFile {
   /// both trailing (`code  // starlint:allow(x)`) and preceding.
   [[nodiscard]] bool allowed(const std::string& rule, std::size_t line) const;
 
+  /// True when a `starlint:hotpath` marker comment covers `line` (same
+  /// own-line-plus-next coverage as allowed()). Marks lambdas — which cannot
+  /// carry the STARLAB_HOTPATH macro in their head — as hot-path roots for
+  /// the call-graph purity pass.
+  [[nodiscard]] bool hotpath_marked(std::size_t line) const;
+
  private:
   void scrub();
   void collect_allow(const std::string& comment, std::size_t line);
@@ -57,6 +63,8 @@ class SourceFile {
   std::vector<std::size_t> line_starts_;
   /// rule id -> lines where an allow() directive appeared.
   std::unordered_map<std::string, std::unordered_set<std::size_t>> allows_;
+  /// Lines carrying a `starlint:hotpath` marker comment.
+  std::unordered_set<std::size_t> hotpath_marks_;
 };
 
 }  // namespace starlint
