@@ -3,36 +3,57 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "check/contracts.hpp"
+#include "check/hotpath.hpp"
 
 namespace starlab::match {
 
 namespace {
-constexpr double kInf = 1e300;
-}
 
-double local_cost(const Point2& a, const Point2& b) {
+constexpr double kInf = 1e300;
+
+/// The two DP rows, reused across calls. DTW scoring runs once per
+/// (observed window, candidate satellite) pair inside the matching loop, so
+/// a fresh pair of vectors per call dominated the small-window cost; the
+/// rows only ever grow to the longest trajectory seen on this thread.
+struct DtwScratch {
+  std::vector<double> prev;
+  std::vector<double> curr;
+};
+
+}  // namespace
+
+STARLAB_HOTPATH double local_cost(const Point2& a, const Point2& b) {
   const double dx = a.x - b.x;
   const double dy = a.y - b.y;
   return dx * dx + dy * dy;
 }
 
-double dtw_distance(std::span<const Point2> a, std::span<const Point2> b,
-                    int band) {
+STARLAB_HOTPATH double dtw_distance(std::span<const Point2> a,
+                                    std::span<const Point2> b, int band) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return kInf;
 
   // Rolling two-row dynamic program over the (n+1) x (m+1) grid.
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> curr(m + 1, kInf);
+  thread_local DtwScratch scratch;
+  if (scratch.prev.size() < m + 1) {
+    scratch.prev.resize(m + 1);  // starlint:allow(hotpath-alloc) amortized
+    scratch.curr.resize(m + 1);  // starlint:allow(hotpath-alloc) amortized
+  }
+  std::vector<double>& prev = scratch.prev;
+  std::vector<double>& curr = scratch.curr;
+  std::fill(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(m + 1),
+            kInf);
   prev[0] = 0.0;
 
   const double slope = static_cast<double>(m) / static_cast<double>(n);
 
   for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(curr.begin(), curr.end(), kInf);
+    std::fill(curr.begin(),
+              curr.begin() + static_cast<std::ptrdiff_t>(m + 1), kInf);
 
     std::size_t j_lo = 1, j_hi = m;
     if (band >= 0) {
@@ -60,8 +81,9 @@ double dtw_distance(std::span<const Point2> a, std::span<const Point2> b,
   return prev[m];
 }
 
-double dtw_distance_normalized(std::span<const Point2> a,
-                               std::span<const Point2> b, int band) {
+STARLAB_HOTPATH double dtw_distance_normalized(std::span<const Point2> a,
+                                               std::span<const Point2> b,
+                                               int band) {
   const double d = dtw_distance(a, b, band);
   if (d >= kInf) return d;
   return d / static_cast<double>(a.size() + b.size());
